@@ -1,0 +1,44 @@
+//! # sbft-baseline — classical (non-stabilizing) register baselines
+//!
+//! The paper's related-work section (Section V) positions its contribution
+//! against classical BFT register constructions that assume a *clean*
+//! initial state. This crate implements two of them on the same simulator
+//! substrate, so that experiments can compare like with like:
+//!
+//! * [`klmw`] — a Kanjani–Lee–Maguffee–Welch-style **BFT MWMR regular
+//!   register** with `n = 3f + 1` servers and *unbounded* integer
+//!   timestamps. Optimal resilience in the classical model — and the
+//!   protocol experiment E6 shows failing permanently under transient
+//!   timestamp corruption (a poisoned `u64::MAX` timestamp can never be
+//!   dominated, and with a colluding Byzantine echo it reaches the `f + 1`
+//!   witness threshold forever).
+//! * [`abd`] — an Attiya–Bar-Noy–Dolev-style **crash-only** majority
+//!   register (`n = 2f + 1`), the cheapest comparator in the quorum-cost
+//!   experiment E7. It has no Byzantine defence at all.
+//! * [`mr_safe`] — a Malkhi–Reiter-style **safe** register over masking
+//!   quorums (`n = 5f`, single-phase operations): Byzantine-tolerant but
+//!   with the weakest semantics in Lamport's hierarchy, completing the
+//!   related-work line-up (safe → regular → atomic).
+//!
+//! Both reuse the wire message enum of `sbft-core` (with
+//! `MwmrTimestamp<u64>` timestamps) and the same history recorder, so the
+//! regularity checker applies unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abd;
+pub mod klmw;
+pub mod mr_safe;
+
+pub use abd::AbdCluster;
+pub use klmw::KlmwCluster;
+pub use mr_safe::MrCluster;
+
+use sbft_labels::{MwmrTimestamp, UnboundedLabeling};
+
+/// Timestamps used by both baselines: unbounded integers + writer id.
+pub type UTs = MwmrTimestamp<u64>;
+
+/// The MWMR labeling system over unbounded timestamps.
+pub type USys = sbft_labels::MwmrLabeling<UnboundedLabeling>;

@@ -1,0 +1,37 @@
+//! Data-link substrate benchmarks (experiment E10's wall-clock view):
+//! convergence from an arbitrary configuration as the channel capacity
+//! grows, plus the clean-channel steady-state transfer rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbft_datalink::DatalinkSim;
+
+fn convergence(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("datalink_converge");
+    group.sample_size(20);
+    let payloads: Vec<u64> = (0..30).collect();
+    for c in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("capacity", c), &c, |b, &c| {
+            b.iter(|| DatalinkSim::converge_report(c, 3, &payloads, 50_000_000))
+        });
+    }
+    group.finish();
+}
+
+fn steady_state(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("datalink_clean");
+    group.sample_size(20);
+    let payloads: Vec<u64> = (0..100).collect();
+    group.bench_function("transfer_100", |b| {
+        b.iter(|| {
+            let mut sim = DatalinkSim::new(3, 5);
+            for &p in &payloads {
+                sim.sender.push(p);
+            }
+            sim.run(50_000_000)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, convergence, steady_state);
+criterion_main!(benches);

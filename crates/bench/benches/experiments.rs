@@ -1,0 +1,87 @@
+//! Benchmarks over whole experiment kernels — one per table of
+//! EXPERIMENTS.md whose cost is simulation-bound: the Theorem 1 replay
+//! (E1), stabilization after total corruption (E4), the label-economy run
+//! (E5), poisoned-timestamp recovery (E6), and the concurrent-writer
+//! workload (E8, incl. the ablation policies).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbft_bench::{e1_lower_bound, e4_stabilization, e5_labels, e6_vs_baseline, e8_concurrency};
+use sbft_core::reader::ReaderOptions;
+use sbft_net::CorruptionSeverity;
+use sbft_wtsg::SelectionPolicy;
+
+fn e1(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("e1_lower_bound");
+    group.sample_size(20);
+    for n in [5usize, 6] {
+        group.bench_with_input(BenchmarkId::new("scripted", n), &n, |b, &n| {
+            b.iter(|| e1_lower_bound::scripted_run(n, 0, 7))
+        });
+    }
+    group.finish();
+}
+
+fn e4(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("e4_stabilization");
+    group.sample_size(10);
+    for sev in [CorruptionSeverity::Light, CorruptionSeverity::Adversarial] {
+        group.bench_with_input(
+            BenchmarkId::new("recover", format!("{sev:?}")),
+            &sev,
+            |b, &sev| b.iter(|| e4_stabilization::run_severity(sev, 1, 2, 3)),
+        );
+    }
+    group.finish();
+}
+
+fn e5(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("e5_labels");
+    group.sample_size(10);
+    group.bench_function("ops_40_f1", |b| b.iter(|| e5_labels::run_cell(1, 40, 1)));
+    group.finish();
+}
+
+fn e6(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("e6_vs_baseline");
+    group.sample_size(10);
+    group.bench_function("bounded", |b| b.iter(|| e6_vs_baseline::run_bounded(1, 3)));
+    group.bench_function("klmw", |b| b.iter(|| e6_vs_baseline::run_klmw(1, 3)));
+    group.finish();
+}
+
+fn e8(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("e8_concurrency");
+    group.sample_size(10);
+    for writers in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::new("writers", writers), &writers, |b, &w| {
+            b.iter(|| e8_concurrency::run_cell(w, 6, 6, 1, ReaderOptions::default()))
+        });
+    }
+    // Ablation kernels share the workload; bench the policy variants.
+    group.bench_function("ablate_max_weight", |b| {
+        b.iter(|| {
+            e8_concurrency::run_cell(
+                3,
+                6,
+                6,
+                1,
+                ReaderOptions { policy: SelectionPolicy::MaxWeight, ..Default::default() },
+            )
+        })
+    });
+    group.bench_function("ablate_union_off", |b| {
+        b.iter(|| {
+            e8_concurrency::run_cell(
+                3,
+                6,
+                6,
+                1,
+                ReaderOptions { use_union: false, ..Default::default() },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, e1, e4, e5, e6, e8);
+criterion_main!(benches);

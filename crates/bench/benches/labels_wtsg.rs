@@ -1,0 +1,68 @@
+//! Micro-benchmarks for the protocol's hot data structures: the bounded
+//! labeling system (`next`, `precedes`, `sanitize`) and the weighted
+//! timestamp graph (build + select). These are the per-message costs every
+//! operation pays `O(n)` times, so their scaling in `k` (≈ cluster size)
+//! is the protocol's computational footprint.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbft_labels::{BoundedLabel, BoundedLabeling, LabelingSystem, UnboundedLabeling};
+use sbft_wtsg::{select_return_value, Witness, WtsGraph};
+
+fn labels(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("labels");
+    for k in [7usize, 12, 22, 42] {
+        let sys = BoundedLabeling::new(k);
+        let mut rng = StdRng::seed_from_u64(1);
+        let seen: Vec<BoundedLabel> = (0..k)
+            .map(|_| sys.sanitize(sys.arbitrary(&mut rng)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("next", k), &k, |b, _| {
+            b.iter(|| sys.next(black_box(&seen)))
+        });
+        let nl = sys.next(&seen);
+        group.bench_with_input(BenchmarkId::new("precedes", k), &k, |b, _| {
+            b.iter(|| sys.precedes(black_box(&seen[0]), black_box(&nl)))
+        });
+        let raw = sys.arbitrary(&mut rng);
+        group.bench_with_input(BenchmarkId::new("sanitize", k), &k, |b, _| {
+            b.iter(|| sys.sanitize(black_box(raw.clone())))
+        });
+    }
+    // The unbounded comparator's next() for scale.
+    let useen: Vec<u64> = (0..42).collect();
+    group.bench_function("unbounded_next", |b| {
+        b.iter(|| UnboundedLabeling.next(black_box(&useen)))
+    });
+    group.finish();
+}
+
+fn wtsg(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("wtsg");
+    for n in [6usize, 11, 21] {
+        let sys = BoundedLabeling::new(n + 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        // A realistic read quorum: n witnesses over ~3 versions + garbage.
+        let witnesses: Vec<Witness<u64, BoundedLabel>> = (0..n)
+            .map(|s| {
+                Witness::new(
+                    s,
+                    (s % 3) as u64,
+                    sys.sanitize(sys.arbitrary(&mut rng)),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| WtsGraph::build(&sys, black_box(witnesses.clone())))
+        });
+        let graph = WtsGraph::build(&sys, witnesses.clone());
+        group.bench_with_input(BenchmarkId::new("select", n), &n, |b, _| {
+            b.iter(|| select_return_value(&sys, black_box(&graph), 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, labels, wtsg);
+criterion_main!(benches);

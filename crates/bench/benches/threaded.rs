@@ -1,0 +1,21 @@
+//! Threaded-runtime throughput benchmarks (experiment E9's Criterion
+//! form): real OS threads, crossbeam channels, end-to-end operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sbft_bench::e9_threaded;
+
+fn throughput(crit: &mut Criterion) {
+    let mut group = crit.benchmark_group("threaded_ops");
+    group.sample_size(10);
+    for clients in [1usize, 4] {
+        let ops_per_client = 50u64;
+        group.throughput(Throughput::Elements(clients as u64 * ops_per_client));
+        group.bench_with_input(BenchmarkId::new("clients", clients), &clients, |b, &cl| {
+            b.iter(|| e9_threaded::run_cell(1, cl, ops_per_client, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

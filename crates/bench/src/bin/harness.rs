@@ -1,0 +1,88 @@
+//! The experiment harness: regenerates every table of EXPERIMENTS.md.
+//!
+//! ```text
+//! harness all            # every experiment (default scale)
+//! harness e1 … e10       # one experiment
+//! harness ablations      # the ablation tables
+//! harness quick          # all experiments at reduced scale (CI-sized)
+//! ```
+
+use sbft_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let arg = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let quick = arg == "quick";
+    let want = |name: &str| arg == "all" || quick || arg == name;
+
+    let mut printed = false;
+    let mut emit = |t: Table| {
+        if csv {
+            println!("# {}", t.title);
+            println!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
+        printed = true;
+    };
+
+    // Scales: (seeds, ops) tuned so `all` finishes in a couple of minutes.
+    let (seeds, ops) = if quick { (3, 5) } else { (10, 10) };
+
+    if want("e1") {
+        emit(e1_lower_bound::run(seeds));
+    }
+    if want("e2") {
+        emit(e2_termination::run(seeds.min(5), ops));
+    }
+    if want("e3") {
+        emit(e3_propagation::run(seeds.min(5), ops));
+    }
+    if want("e4") {
+        emit(e4_stabilization::run(seeds));
+    }
+    if want("e5") {
+        emit(e5_labels::run(if quick { 40 } else { 120 }));
+    }
+    if want("e6") {
+        emit(e6_vs_baseline::run(seeds, 3));
+    }
+    if want("e7") {
+        emit(e7_quorum_cost::run(ops));
+    }
+    if want("e8") {
+        emit(e8_concurrency::run(seeds.min(5)));
+    }
+    if want("e9") {
+        emit(e9_threaded::run(if quick { 20 } else { 100 }));
+    }
+    if want("e10") {
+        emit(e10_datalink::run(seeds, if quick { 20 } else { 50 }));
+    }
+    if want("e11") {
+        emit(e11_byzantine_readers::run(seeds.min(5), ops.min(6)));
+    }
+    if want("e12") {
+        emit(e12_atomicity::run(7));
+    }
+    if want("e13") {
+        emit(e13_kv_store::run(7));
+    }
+    if want("ablations") {
+        emit(ablations::ablate_selection(seeds.min(5)));
+        emit(ablations::ablate_union(seeds.min(5)));
+        emit(ablations::ablate_flush(seeds.min(5)));
+    }
+
+    if !printed {
+        eprintln!(
+            "unknown experiment {arg:?}; use all | quick | e1..e13 | ablations [--csv]"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,111 @@
+//! **E3 — Lemma 2 (write propagation)**: when a `write(v)` completes, at
+//! least `3f + 1` servers store `⟨v, ts_v⟩`.
+//!
+//! The measurement sweeps the Byzantine phase-participation scenarios the
+//! proof enumerates (reply in both phases / phase 1 only / phase 2 only /
+//! neither — approximated by the strategy catalogue) and reports the
+//! *minimum* number of servers storing the pair immediately after each
+//! write's completion. Note Byzantine servers may coincidentally store the
+//! pair too; we count only honest servers, so `≥ 3f + 1` is exactly the
+//! lemma's bound.
+
+use sbft_core::adversary::ByzStrategy;
+use sbft_core::cluster::RegisterCluster;
+
+use crate::table::Table;
+
+/// One (strategy, f) measurement.
+#[derive(Clone, Debug)]
+pub struct E3Cell {
+    /// Byzantine budget.
+    pub f: usize,
+    /// Strategy label.
+    pub strategy: String,
+    /// Writes performed.
+    pub writes: usize,
+    /// Minimum honest servers storing a completed write's pair.
+    pub min_storing: usize,
+    /// Mean honest servers storing the pair.
+    pub mean_storing: f64,
+    /// The lemma's bound `3f + 1`.
+    pub bound: usize,
+}
+
+/// Measure one cell.
+pub fn run_cell(f: usize, strategy: Option<ByzStrategy>, seeds: u64, writes: u64) -> E3Cell {
+    let mut min_storing = usize::MAX;
+    let mut total = 0usize;
+    let mut count = 0usize;
+    for seed in 0..seeds {
+        let mut b = RegisterCluster::bounded(f).clients(1).seed(seed);
+        if let Some(s) = strategy {
+            b = b.byzantine_tail(s);
+        }
+        let mut c = b.build();
+        let w = c.client(0);
+        for i in 0..writes {
+            let value = 1000 * (seed + 1) + i;
+            let ts = c.write(w, value).expect("write terminates");
+            let storing = c.servers_storing(value, &ts);
+            min_storing = min_storing.min(storing);
+            total += storing;
+            count += 1;
+        }
+    }
+    E3Cell {
+        f,
+        strategy: strategy.map(|s| format!("{s:?}")).unwrap_or_else(|| "none".into()),
+        writes: count,
+        min_storing,
+        mean_storing: total as f64 / count as f64,
+        bound: 3 * f + 1,
+    }
+}
+
+/// The E3 table.
+pub fn run(seeds: u64, writes: u64) -> Table {
+    let mut t = Table::new(
+        "E3 (Lemma 2): servers storing a completed write's (value, ts)",
+        &["f", "strategy", "writes", "min storing", "mean storing", "bound 3f+1", "holds"],
+    );
+    for f in [1usize, 2] {
+        for s in std::iter::once(None).chain(ByzStrategy::all().into_iter().map(Some)) {
+            let cell = run_cell(f, s, seeds, writes);
+            t.row(vec![
+                cell.f.to_string(),
+                cell.strategy.clone(),
+                cell.writes.to_string(),
+                cell.min_storing.to_string(),
+                format!("{:.1}", cell.mean_storing),
+                cell.bound.to_string(),
+                if cell.min_storing >= cell.bound { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_holds_fault_free() {
+        let cell = run_cell(1, None, 2, 5);
+        assert!(cell.min_storing >= cell.bound, "{cell:?}");
+    }
+
+    #[test]
+    fn bound_holds_under_each_strategy() {
+        for s in ByzStrategy::all() {
+            let cell = run_cell(1, Some(s), 2, 4);
+            assert!(cell.min_storing >= cell.bound, "strategy {s:?}: {cell:?}");
+        }
+    }
+
+    #[test]
+    fn bound_holds_at_f2() {
+        let cell = run_cell(2, Some(ByzStrategy::Silent), 1, 3);
+        assert!(cell.min_storing >= 7, "{cell:?}");
+    }
+}

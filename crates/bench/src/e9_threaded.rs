@@ -1,0 +1,126 @@
+//! **E9 — wall-clock throughput on real threads**: the sans-IO automata
+//! run unchanged on the crossbeam-channel runtime (one OS thread per
+//! server and per client). This experiment measures end-to-end operations
+//! per second as the number of concurrent clients grows — the
+//! "tokio-channels-fit" angle of the reproduction brief, realized with
+//! crossbeam (the approved offline crate).
+
+use std::time::{Duration, Instant};
+
+use sbft_core::client::Client;
+use sbft_core::config::ClusterConfig;
+use sbft_core::messages::{ClientEvent, Msg};
+use sbft_core::reader::ReaderOptions;
+use sbft_core::server::Server;
+use sbft_core::Ts;
+use sbft_labels::{BoundedLabeling, MwmrLabeling};
+use sbft_net::{Automaton, ThreadedCluster};
+
+use crate::table::{f1, Table};
+
+type B = BoundedLabeling;
+type M = Msg<Ts<B>>;
+type E = ClientEvent<Ts<B>>;
+
+/// One clients-count measurement.
+#[derive(Clone, Debug)]
+pub struct E9Cell {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Total operations completed.
+    pub ops: usize,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Throughput.
+    pub ops_per_sec: f64,
+}
+
+/// Spawn a threaded cluster and drive `ops_per_client` alternating
+/// write/read operations from each client concurrently.
+pub fn run_cell(f: usize, clients: usize, ops_per_client: u64, seed: u64) -> E9Cell {
+    let cfg = ClusterConfig::stabilizing(f);
+    let sys = MwmrLabeling::new(BoundedLabeling::new(cfg.label_k()));
+    let mut procs: Vec<Box<dyn Automaton<M, E>>> = Vec::new();
+    for _ in 0..cfg.n {
+        procs.push(Box::new(Server::<B>::new(sys.clone(), cfg)));
+    }
+    for i in 0..clients {
+        let pid = cfg.client_pid(i);
+        procs.push(Box::new(Client::<B>::new(
+            sys.clone(),
+            cfg,
+            pid as u32,
+            ReaderOptions::default(),
+        )));
+    }
+    let cluster: ThreadedCluster<M, E> = ThreadedCluster::spawn(procs, seed);
+
+    let start = Instant::now();
+    let completed: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                let cluster = &cluster;
+                let pid = cfg.client_pid(i);
+                s.spawn(move || {
+                    let mut done = 0usize;
+                    for op in 0..ops_per_client {
+                        let msg = if op % 2 == 0 {
+                            Msg::InvokeWrite { value: (i as u64) << 32 | op }
+                        } else {
+                            Msg::InvokeRead
+                        };
+                        if cluster.invoke_and_wait(pid, msg, Duration::from_secs(30)).is_some() {
+                            done += 1;
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = start.elapsed();
+    cluster.shutdown();
+    E9Cell {
+        clients,
+        ops: completed,
+        elapsed,
+        ops_per_sec: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+/// The E9 table.
+pub fn run(ops_per_client: u64) -> Table {
+    let mut t = Table::new(
+        "E9: wall-clock throughput on the threaded runtime (f = 1, n = 6)",
+        &["clients", "ops", "elapsed ms", "ops/sec"],
+    );
+    for clients in [1usize, 2, 4, 8] {
+        let c = run_cell(1, clients, ops_per_client, 1);
+        t.row(vec![
+            c.clients.to_string(),
+            c.ops.to_string(),
+            format!("{}", c.elapsed.as_millis()),
+            f1(c.ops_per_sec),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threaded_cluster_completes_all_ops() {
+        let c = run_cell(1, 2, 10, 3);
+        assert_eq!(c.ops, 20, "{c:?}");
+        assert!(c.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn parallel_clients_scale_without_loss() {
+        let c = run_cell(1, 4, 6, 4);
+        assert_eq!(c.ops, 24, "{c:?}");
+    }
+}

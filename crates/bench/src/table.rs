@@ -1,0 +1,169 @@
+//! Minimal aligned-column table rendering for the harness output.
+
+use std::fmt::Write as _;
+
+/// A titled table of string cells.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (experiment id + claim).
+    pub title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor (row, column) for assertions in tests.
+    pub fn cell(&self, r: usize, c: usize) -> &str {
+        &self.rows[r][c]
+    }
+
+    /// Find the column index of a header.
+    pub fn col(&self, header: &str) -> usize {
+        self.headers
+            .iter()
+            .position(|h| h == header)
+            .unwrap_or_else(|| panic!("no column {header:?}"))
+    }
+
+    /// Render as CSV (machine-readable; `harness --csv <exp>`).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(s, "| {:<w$} ", cell, w = widths[i]);
+            }
+            s.push('|');
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let mut sep = String::new();
+        for w in &widths {
+            let _ = write!(sep, "|{}", "-".repeat(w + 2));
+        }
+        sep.push('|');
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a rate as a percentage.
+pub fn pct(num: usize, den: usize) -> String {
+    if den == 0 {
+        "n/a".into()
+    } else {
+        format!("{:.0}%", 100.0 * num as f64 / den as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["wide_cell".into(), "3".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| wide_cell | 3"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(0, t.col("long_header")), "2");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x,y".into(), "he said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(f2(1.256), "1.26");
+        assert_eq!(pct(1, 4), "25%");
+        assert_eq!(pct(0, 0), "n/a");
+    }
+}

@@ -1,0 +1,194 @@
+//! Byzantine **clients** — validating the paper's concluding remark:
+//!
+//! > "when reader clients are Byzantine our protocol still verifies the
+//! > MWMR regular register specification. That is, the read protocol is
+//! > performed in one phase so Byzantine readers cannot modify the value
+//! > and the timestamp maintained by the correct servers."
+//!
+//! A Byzantine reader can only *send* `READ`/`FLUSH`/`COMPLETE_READ`
+//! messages (none of which mutate a server's register state) and flood
+//! servers with garbage. The strategies here exercise exactly that attack
+//! surface; experiment E11 measures that correct clients' operations keep
+//! terminating with correct values while the hostile client sprays the
+//! cluster.
+//!
+//! Note the claim is deliberately about **readers**: a Byzantine *writer*
+//! is indistinguishable from a correct writer writing attacker-chosen
+//! values — the register's spec says nothing about value provenance.
+
+use rand::Rng;
+use sbft_labels::LabelingSystem;
+use sbft_net::{Automaton, Ctx, ProcessId, ENV};
+
+use crate::adversary::random_message;
+use crate::config::ClusterConfig;
+use crate::messages::{ClientEvent, Msg};
+use crate::{Sys, Ts};
+
+/// Hostile reader behaviours.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ByzReaderStrategy {
+    /// Spray `READ`s with random labels at every server, never completing
+    /// any of them (bloats `running_read` tables and triggers forwarding
+    /// traffic on every write).
+    ReadFlood,
+    /// Send `COMPLETE_READ`/`FLUSH` with random labels (tries to confuse
+    /// server-side read bookkeeping and other readers' flush certificates
+    /// — it cannot, because bookkeeping is per-client).
+    ControlNoise,
+    /// Fully random well-typed protocol messages, including `WRITE`s with
+    /// forged timestamps. The `WRITE`s do mutate servers — but only like
+    /// any legitimate write would, which is the boundary of the claim
+    /// (and the witness threshold keeps lone forgeries invisible to
+    /// readers).
+    GarbageSpray,
+}
+
+/// A Byzantine client driven by the simulation clock: on every `ENV` kick
+/// it emits one volley of hostile traffic. Drive it by injecting arbitrary
+/// commands (e.g. `Msg::InvokeRead`) at the cadence the scenario wants.
+pub struct ByzClient<B: LabelingSystem> {
+    sys: Sys<B>,
+    cfg: ClusterConfig,
+    strategy: ByzReaderStrategy,
+    /// Volleys emitted (diagnostics).
+    pub volleys: u64,
+}
+
+impl<B: LabelingSystem> ByzClient<B> {
+    /// New hostile client.
+    pub fn new(sys: Sys<B>, cfg: ClusterConfig, strategy: ByzReaderStrategy) -> Self {
+        Self { sys, cfg, strategy, volleys: 0 }
+    }
+}
+
+impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for ByzClient<B> {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        _msg: Msg<Ts<B>>,
+        ctx: &mut Ctx<'_, Msg<Ts<B>>, ClientEvent<Ts<B>>>,
+    ) {
+        // Any stimulus — an ENV kick or any server reply — triggers a
+        // volley, so the hostile client stays as chatty as the simulation
+        // allows without flooding the event queue unboundedly.
+        if from != ENV && self.volleys > 0 && !self.volleys.is_multiple_of(8) {
+            self.volleys += 1;
+            return;
+        }
+        self.volleys += 1;
+        let n = self.cfg.n;
+        match self.strategy {
+            ByzReaderStrategy::ReadFlood => {
+                for s in 0..n {
+                    let label = ctx.rng().gen_range(0..self.cfg.read_labels as u32 * 2);
+                    ctx.send(s, Msg::Read { label });
+                }
+            }
+            ByzReaderStrategy::ControlNoise => {
+                for s in 0..n {
+                    let label = ctx.rng().gen_range(0..self.cfg.read_labels as u32 * 2);
+                    if ctx.rng().gen::<bool>() {
+                        ctx.send(s, Msg::CompleteRead { label });
+                    } else {
+                        ctx.send(s, Msg::Flush { label });
+                    }
+                }
+            }
+            ByzReaderStrategy::GarbageSpray => {
+                for s in 0..n {
+                    let sys = self.sys.clone();
+                    let cfg = self.cfg;
+                    let msg = random_message::<B>(&sys, &cfg, ctx.rng());
+                    ctx.send(s, msg);
+                }
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+impl ByzReaderStrategy {
+    /// The strategies that stay within the paper's "Byzantine reader"
+    /// claim (no forged `WRITE`s).
+    pub fn reader_only() -> [ByzReaderStrategy; 2] {
+        [ByzReaderStrategy::ReadFlood, ByzReaderStrategy::ControlNoise]
+    }
+
+    /// All hostile client strategies.
+    pub fn all() -> [ByzReaderStrategy; 3] {
+        [
+            ByzReaderStrategy::ReadFlood,
+            ByzReaderStrategy::ControlNoise,
+            ByzReaderStrategy::GarbageSpray,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sbft_labels::{BoundedLabeling, MwmrLabeling};
+
+    type B = BoundedLabeling;
+
+    #[test]
+    fn volleys_target_every_server() {
+        let cfg = ClusterConfig::stabilizing(1);
+        let sys = MwmrLabeling::new(BoundedLabeling::new(cfg.label_k()));
+        for strategy in ByzReaderStrategy::all() {
+            let mut c = ByzClient::<B>::new(sys.clone(), cfg, strategy);
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut ctx = Ctx::detached(cfg.client_pid(0), 0, &mut rng);
+            c.on_message(ENV, Msg::InvokeRead, &mut ctx);
+            let (sends, outs, _) = ctx.drain();
+            assert_eq!(sends.len(), cfg.n, "{strategy:?}");
+            assert!(outs.is_empty(), "hostile clients emit no client events");
+            assert!(sends.iter().all(|(to, _)| *to < cfg.n));
+        }
+    }
+
+    #[test]
+    fn reader_only_strategies_never_send_writes() {
+        let cfg = ClusterConfig::stabilizing(1);
+        let sys = MwmrLabeling::new(BoundedLabeling::new(cfg.label_k()));
+        for strategy in ByzReaderStrategy::reader_only() {
+            let mut c = ByzClient::<B>::new(sys.clone(), cfg, strategy);
+            let mut rng = StdRng::seed_from_u64(2);
+            for round in 0..20 {
+                let mut ctx = Ctx::detached(cfg.client_pid(0), round, &mut rng);
+                c.on_message(ENV, Msg::InvokeRead, &mut ctx);
+                let (sends, _, _) = ctx.drain();
+                assert!(
+                    sends.iter().all(|(_, m)| !matches!(
+                        m,
+                        Msg::Write { .. } | Msg::GetTs | Msg::WriteAck { .. }
+                    )),
+                    "{strategy:?} must stay within the reader interface"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn throttles_on_reply_storms() {
+        // Server replies must not make the hostile client amplify 1:1
+        // forever (that would melt the simulation, not the protocol).
+        let cfg = ClusterConfig::stabilizing(1);
+        let sys = MwmrLabeling::new(BoundedLabeling::new(cfg.label_k()));
+        let mut c = ByzClient::<B>::new(sys.clone(), cfg, ByzReaderStrategy::ReadFlood);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut total = 0;
+        for round in 0..64 {
+            let mut ctx = Ctx::detached(cfg.client_pid(0), round, &mut rng);
+            c.on_message(0, Msg::FlushAck { label: 0 }, &mut ctx);
+            total += ctx.drain().0.len();
+        }
+        assert!(total < 64 * cfg.n, "volleys must be throttled, sent {total}");
+    }
+}

@@ -1,0 +1,544 @@
+//! One-call assembly of a simulated register cluster, with blocking-style
+//! operation helpers and integrated history recording — the scenario driver
+//! shared by tests, examples, benches and the experiment harness.
+//!
+//! ```
+//! use sbft_core::cluster::RegisterCluster;
+//!
+//! let mut cluster = RegisterCluster::bounded(1).clients(2).seed(7).build();
+//! let (w, r) = (cluster.client(0), cluster.client(1));
+//! cluster.write(w, 10).unwrap();
+//! assert_eq!(cluster.read(r).unwrap().value, 10);
+//! assert!(cluster.check_history().is_ok());
+//! ```
+
+use std::collections::BTreeMap;
+
+use sbft_labels::{BoundedLabeling, LabelingSystem, MwmrLabeling, UnboundedLabeling};
+use sbft_net::corruption::FaultPlan;
+use sbft_net::{CorruptionSeverity, DelayModel, NetMetrics, ProcessId, SimConfig, Simulation};
+
+use crate::adversary::{random_message, ByzServer, ByzStrategy, ScriptedServer};
+use crate::byzclient::{ByzClient, ByzReaderStrategy};
+use crate::client::Client;
+use crate::config::ClusterConfig;
+use crate::messages::{ClientEvent, Msg, Value};
+use crate::reader::ReaderOptions;
+use crate::server::Server;
+use crate::spec::{HistoryRecorder, OpKind, RegularityError};
+use crate::{Sys, Ts};
+
+/// Why a blocking operation helper failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpError {
+    /// The read returned `abort` (servers in a transitory phase).
+    Aborted,
+    /// The event budget ran out or the simulation went quiet before the
+    /// operation completed.
+    Stuck,
+}
+
+/// A successful read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadOk<B: LabelingSystem> {
+    /// The value read.
+    pub value: Value,
+    /// The timestamp witnessing it.
+    pub ts: Ts<B>,
+    /// Whether the union-graph fallback decided.
+    pub via_union: bool,
+}
+
+/// An operation request for [`RegisterCluster::run_concurrent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `write(value)`.
+    Write(Value),
+    /// `read()`.
+    Read,
+}
+
+/// Builder for a [`RegisterCluster`].
+pub struct ClusterBuilder<B: LabelingSystem> {
+    cfg: ClusterConfig,
+    base: B,
+    n_clients: usize,
+    byz: BTreeMap<usize, ByzStrategy>,
+    scripted: Vec<usize>,
+    hostile_clients: Vec<ByzReaderStrategy>,
+    seed: u64,
+    delay: DelayModel,
+    trace: usize,
+    reader_opts: ReaderOptions,
+}
+
+impl<B: LabelingSystem> ClusterBuilder<B> {
+    /// Start from a config and base labeling system.
+    pub fn new(cfg: ClusterConfig, base: B) -> Self {
+        Self {
+            cfg,
+            base,
+            n_clients: 2,
+            byz: BTreeMap::new(),
+            scripted: Vec::new(),
+            hostile_clients: Vec::new(),
+            seed: 0,
+            delay: DelayModel::uniform(1, 10),
+            trace: 0,
+            reader_opts: ReaderOptions::default(),
+        }
+    }
+
+    /// Number of clients to attach (default 2).
+    pub fn clients(mut self, n: usize) -> Self {
+        self.n_clients = n.max(1);
+        self
+    }
+
+    /// Make server `idx` Byzantine with the given strategy.
+    pub fn byzantine(mut self, idx: usize, strategy: ByzStrategy) -> Self {
+        assert!(idx < self.cfg.n);
+        self.byz.insert(idx, strategy);
+        self
+    }
+
+    /// Make the *last* `f` servers Byzantine with one strategy.
+    pub fn byzantine_tail(mut self, strategy: ByzStrategy) -> Self {
+        for idx in self.cfg.n - self.cfg.f..self.cfg.n {
+            self.byz.insert(idx, strategy);
+        }
+        self
+    }
+
+    /// Make server `idx` a fully scripted (driver-controlled) adversary.
+    pub fn scripted(mut self, idx: usize) -> Self {
+        assert!(idx < self.cfg.n);
+        self.scripted.push(idx);
+        self
+    }
+
+    /// Attach a Byzantine (hostile) client after the correct clients. Its
+    /// pid is reported by [`RegisterCluster::hostile_client`]; kick it
+    /// with [`RegisterCluster::kick_hostile`] to emit traffic volleys.
+    pub fn hostile_client(mut self, strategy: ByzReaderStrategy) -> Self {
+        self.hostile_clients.push(strategy);
+        self
+    }
+
+    /// Simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Message delay model (default uniform 1..=10).
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Enable the simulator's debug trace.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace = capacity;
+        self
+    }
+
+    /// Reader ablation switches.
+    pub fn reader_options(mut self, opts: ReaderOptions) -> Self {
+        self.reader_opts = opts;
+        self
+    }
+
+    /// Assemble the cluster.
+    pub fn build(self) -> RegisterCluster<B> {
+        let sys: Sys<B> = MwmrLabeling::new(self.base.clone());
+        let sim_cfg = SimConfig { seed: self.seed, delay: self.delay, trace_capacity: self.trace };
+        let mut sim: Simulation<Msg<Ts<B>>, ClientEvent<Ts<B>>> = Simulation::new(sim_cfg);
+
+        for s in 0..self.cfg.n {
+            if self.scripted.contains(&s) {
+                sim.add_process(Box::new(ScriptedServer::<B>::new(sys.clone())));
+            } else if let Some(&strategy) = self.byz.get(&s) {
+                sim.add_process(Box::new(ByzServer::new(sys.clone(), self.cfg, strategy)));
+            } else {
+                sim.add_process(Box::new(Server::new(sys.clone(), self.cfg)));
+            }
+        }
+        for c in 0..self.n_clients {
+            let pid = self.cfg.client_pid(c);
+            sim.add_process(Box::new(Client::new(
+                sys.clone(),
+                self.cfg,
+                pid as u32,
+                self.reader_opts,
+            )));
+        }
+        let mut hostile_pids = Vec::new();
+        for strategy in &self.hostile_clients {
+            let pid = sim.add_process(Box::new(ByzClient::new(sys.clone(), self.cfg, *strategy)));
+            hostile_pids.push(pid);
+        }
+
+        RegisterCluster {
+            sim,
+            cfg: self.cfg,
+            sys,
+            n_clients: self.n_clients,
+            hostile_pids,
+            recorder: HistoryRecorder::new(),
+            op_budget: 400_000,
+        }
+    }
+}
+
+/// A simulated register cluster: servers + clients + recorder.
+pub struct RegisterCluster<B: LabelingSystem> {
+    /// The underlying simulation (exposed for schedule steering).
+    pub sim: Simulation<Msg<Ts<B>>, ClientEvent<Ts<B>>>,
+    /// Cluster arithmetic.
+    pub cfg: ClusterConfig,
+    /// The MWMR labeling system in use.
+    pub sys: Sys<B>,
+    n_clients: usize,
+    hostile_pids: Vec<ProcessId>,
+    /// Operation history (public so experiments can inspect records).
+    pub recorder: HistoryRecorder<B>,
+    /// Max simulator events per blocking operation.
+    pub op_budget: u64,
+}
+
+impl RegisterCluster<BoundedLabeling> {
+    /// Builder for the paper's protocol: bounded labels, `n = 5f + 1`.
+    pub fn bounded(f: usize) -> ClusterBuilder<BoundedLabeling> {
+        let cfg = ClusterConfig::stabilizing(f);
+        ClusterBuilder::new(cfg, BoundedLabeling::new(cfg.label_k()))
+    }
+
+    /// Builder with explicit `n` (e.g. `n = 5f` for the lower bound).
+    pub fn bounded_with_n(n: usize, f: usize) -> ClusterBuilder<BoundedLabeling> {
+        let cfg = ClusterConfig::with_n(n, f);
+        ClusterBuilder::new(cfg, BoundedLabeling::new(cfg.label_k()))
+    }
+}
+
+impl RegisterCluster<UnboundedLabeling> {
+    /// Builder for the same protocol over unbounded timestamps (used by
+    /// E6 to isolate the effect of boundedness).
+    pub fn unbounded(f: usize) -> ClusterBuilder<UnboundedLabeling> {
+        let cfg = ClusterConfig::stabilizing(f);
+        ClusterBuilder::new(cfg, UnboundedLabeling)
+    }
+}
+
+impl<B: LabelingSystem> RegisterCluster<B> {
+    /// Pid of the `i`-th client.
+    pub fn client(&self, i: usize) -> ProcessId {
+        assert!(i < self.n_clients, "client {i} not attached");
+        self.cfg.client_pid(i)
+    }
+
+    /// Number of attached clients.
+    pub fn client_count(&self) -> usize {
+        self.n_clients
+    }
+
+    /// Pid of the `i`-th hostile (Byzantine) client.
+    pub fn hostile_client(&self, i: usize) -> ProcessId {
+        self.hostile_pids[i]
+    }
+
+    /// Kick every hostile client once (each kick triggers a volley of
+    /// hostile traffic; server replies re-trigger throttled volleys).
+    pub fn kick_hostile(&mut self) {
+        for i in 0..self.hostile_pids.len() {
+            let pid = self.hostile_pids[i];
+            self.sim.inject(pid, Msg::InvokeRead);
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.sim.now()
+    }
+
+    /// Network metrics so far.
+    pub fn metrics(&self) -> &NetMetrics {
+        self.sim.metrics()
+    }
+
+    /// Non-blocking: start a write on `client`. The invocation instant is
+    /// recorded as `now + 1`: the command reaches the client only after at
+    /// least one tick of channel delay, so an operation completing at time
+    /// `t` strictly precedes one invoked at the same driver step.
+    pub fn invoke_write(&mut self, client: ProcessId, value: Value) {
+        self.recorder
+            .begin_with_intent(client, OpKind::Write, self.sim.now() + 1, Some(value));
+        self.sim.inject(client, Msg::InvokeWrite { value });
+    }
+
+    /// Non-blocking: start a read on `client` (timing as for writes).
+    pub fn invoke_read(&mut self, client: ProcessId) {
+        self.recorder.begin(client, OpKind::Read, self.sim.now() + 1);
+        self.sim.inject(client, Msg::InvokeRead);
+    }
+
+    /// Pump the simulation until `client` emits a terminal event (recording
+    /// every event from every client along the way).
+    pub fn await_client(&mut self, client: ProcessId) -> Result<ClientEvent<Ts<B>>, OpError> {
+        let mut budget = self.op_budget;
+        while budget > 0 {
+            let Some(ev) = self.sim.step() else {
+                return Err(OpError::Stuck); // network drained, op incomplete
+            };
+            budget -= 1;
+            let time = ev.time;
+            let pid = ev.pid;
+            for out in ev.outputs {
+                self.recorder.complete(pid, time, &out);
+                if pid == client {
+                    return Ok(out);
+                }
+            }
+        }
+        Err(OpError::Stuck)
+    }
+
+    /// Blocking write: returns the installed timestamp.
+    pub fn write(&mut self, client: ProcessId, value: Value) -> Result<Ts<B>, OpError> {
+        self.invoke_write(client, value);
+        match self.await_client(client)? {
+            ClientEvent::WriteDone { ts, .. } => Ok(ts),
+            other => unreachable!("write terminated by non-write event {other:?}"),
+        }
+    }
+
+    /// Blocking read.
+    pub fn read(&mut self, client: ProcessId) -> Result<ReadOk<B>, OpError> {
+        self.invoke_read(client);
+        match self.await_client(client)? {
+            ClientEvent::ReadDone { value, ts, via_union } => Ok(ReadOk { value, ts, via_union }),
+            ClientEvent::ReadAborted => Err(OpError::Aborted),
+            other => unreachable!("read terminated by non-read event {other:?}"),
+        }
+    }
+
+    /// Launch several operations concurrently (one per distinct client
+    /// index) and run until each has terminated (or the budget runs out).
+    /// Returns the terminal event per client index, in input order.
+    pub fn run_concurrent(&mut self, ops: &[(usize, Op)]) -> Vec<Option<ClientEvent<Ts<B>>>> {
+        let mut pending: BTreeMap<ProcessId, usize> = BTreeMap::new();
+        for (slot, &(ci, op)) in ops.iter().enumerate() {
+            let pid = self.client(ci);
+            assert!(
+                pending.insert(pid, slot).is_none(),
+                "one concurrent op per client"
+            );
+            match op {
+                Op::Write(v) => self.invoke_write(pid, v),
+                Op::Read => self.invoke_read(pid),
+            }
+        }
+        let mut results: Vec<Option<ClientEvent<Ts<B>>>> = vec![None; ops.len()];
+        let mut budget = self.op_budget;
+        while !pending.is_empty() && budget > 0 {
+            let Some(ev) = self.sim.step() else { break };
+            budget -= 1;
+            let (time, pid) = (ev.time, ev.pid);
+            for out in ev.outputs {
+                self.recorder.complete(pid, time, &out);
+                if let Some(slot) = pending.remove(&pid) {
+                    results[slot] = Some(out);
+                }
+            }
+        }
+        results
+    }
+
+    /// Let in-flight background traffic (late replies, forwards) drain.
+    pub fn settle(&mut self, max_events: u64) {
+        let mut budget = max_events;
+        while budget > 0 {
+            let Some(ev) = self.sim.step() else { return };
+            budget -= 1;
+            let (time, pid) = (ev.time, ev.pid);
+            for out in ev.outputs {
+                self.recorder.complete(pid, time, &out);
+            }
+        }
+    }
+
+    /// Transient fault: corrupt the local state of **all** servers and
+    /// clients and load garbage messages on every server-adjacent channel.
+    pub fn corrupt_everything(&mut self, severity: CorruptionSeverity) {
+        let total = self.cfg.n + self.n_clients;
+        let plan = FaultPlan::total(total, severity);
+        self.apply_plan(&plan);
+    }
+
+    /// Transient fault hitting only the listed servers.
+    pub fn corrupt_servers(&mut self, victims: &[usize], severity: CorruptionSeverity) {
+        let plan = FaultPlan::targeting(victims, self.cfg.n + self.n_clients, severity);
+        self.apply_plan(&plan);
+    }
+
+    fn apply_plan(&mut self, plan: &FaultPlan) {
+        let sys = self.sys.clone();
+        let cfg = self.cfg;
+        self.sim.apply_fault(plan, move |rng| random_message::<B>(&sys, &cfg, rng));
+    }
+
+    /// Check the whole recorded history against MWMR regularity.
+    pub fn check_history(&self) -> Result<(), Vec<RegularityError>> {
+        self.recorder.check(&self.sys)
+    }
+
+    /// Check only the suffix from `t` (pseudo-stabilization verdict).
+    pub fn check_history_from(&self, t: u64) -> Result<(), Vec<RegularityError>> {
+        self.recorder.check_from(&self.sys, t)
+    }
+
+    /// Typed access to an honest server's state (None for adversaries).
+    pub fn server_state(&mut self, idx: usize) -> Option<&mut Server<B>> {
+        self.sim
+            .process_mut(idx)
+            .as_any_mut()?
+            .downcast_mut::<Server<B>>()
+    }
+
+    /// Typed access to a scripted server (None otherwise).
+    pub fn scripted_server(&mut self, idx: usize) -> Option<&mut ScriptedServer<B>> {
+        self.sim
+            .process_mut(idx)
+            .as_any_mut()?
+            .downcast_mut::<ScriptedServer<B>>()
+    }
+
+    /// Typed access to a client's state.
+    pub fn client_state(&mut self, i: usize) -> Option<&mut Client<B>> {
+        let pid = self.client(i);
+        self.sim
+            .process_mut(pid)
+            .as_any_mut()?
+            .downcast_mut::<Client<B>>()
+    }
+
+    /// Count of honest servers currently storing `(value, ts)` — the
+    /// Lemma 2 propagation measurement of experiment E3.
+    pub fn servers_storing(&mut self, value: Value, ts: &Ts<B>) -> usize {
+        let n = self.cfg.n;
+        (0..n)
+            .filter(|&s| {
+                self.server_state(s)
+                    .map(|srv| srv.value == value && &srv.ts == ts)
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_write_read_roundtrip() {
+        let mut c = RegisterCluster::bounded(1).seed(1).build();
+        let w = c.client(0);
+        let ts = c.write(w, 123).unwrap();
+        let r = c.read(c.client(1)).unwrap();
+        assert_eq!(r.value, 123);
+        assert_eq!(r.ts, ts);
+        assert!(!r.via_union);
+        assert!(c.check_history().is_ok());
+    }
+
+    #[test]
+    fn sequential_writes_read_latest() {
+        let mut c = RegisterCluster::bounded(1).seed(2).build();
+        let w = c.client(0);
+        for v in 1..=10 {
+            c.write(w, v).unwrap();
+        }
+        let r = c.read(c.client(1)).unwrap();
+        assert_eq!(r.value, 10);
+        assert!(c.check_history().is_ok());
+    }
+
+    #[test]
+    fn lemma2_propagation_bound_holds() {
+        let mut c = RegisterCluster::bounded(1).seed(3).build();
+        let w = c.client(0);
+        for v in 1..=5 {
+            let ts = c.write(w, v).unwrap();
+            let stored = c.servers_storing(v, &ts);
+            assert!(
+                stored >= c.cfg.propagation_bound(),
+                "write {v}: {stored} servers < 3f+1 = {}",
+                c.cfg.propagation_bound()
+            );
+        }
+    }
+
+    #[test]
+    fn works_with_each_byzantine_strategy() {
+        for (i, strat) in ByzStrategy::all().into_iter().enumerate() {
+            let mut c = RegisterCluster::bounded(1)
+                .byzantine_tail(strat)
+                .seed(100 + i as u64)
+                .build();
+            let w = c.client(0);
+            c.write(w, 7).unwrap_or_else(|e| panic!("write under {strat:?}: {e:?}"));
+            let r = c.read(c.client(1)).unwrap_or_else(|e| panic!("read under {strat:?}: {e:?}"));
+            assert_eq!(r.value, 7, "value under {strat:?}");
+            assert!(c.check_history().is_ok(), "history under {strat:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_write_and_read_satisfy_regularity() {
+        let mut c = RegisterCluster::bounded(1).clients(3).seed(5).build();
+        let w = c.client(0);
+        c.write(w, 1).unwrap();
+        let evs = c.run_concurrent(&[(0, Op::Write(2)), (1, Op::Read), (2, Op::Read)]);
+        assert!(evs.iter().all(|e| e.is_some()), "all ops must terminate");
+        c.settle(50_000);
+        assert!(c.check_history().is_ok());
+    }
+
+    #[test]
+    fn unbounded_base_works_fault_free() {
+        let mut c = RegisterCluster::unbounded(1).seed(6).build();
+        let w = c.client(0);
+        c.write(w, 9).unwrap();
+        assert_eq!(c.read(c.client(1)).unwrap().value, 9);
+        assert!(c.check_history().is_ok());
+    }
+
+    #[test]
+    fn stabilizes_after_total_corruption() {
+        let mut c = RegisterCluster::bounded(1).seed(7).build();
+        let w = c.client(0);
+        c.write(w, 1).unwrap();
+        c.corrupt_everything(CorruptionSeverity::Heavy);
+        // Assumption 1: the first post-fault write runs to completion.
+        c.write(w, 2).unwrap();
+        let t_stable = c.now();
+        // Every subsequent read must satisfy regularity.
+        for _ in 0..5 {
+            let r = c.read(c.client(1)).unwrap();
+            assert!(r.value == 2 || r.value == 0 || r.value == 1 || r.value > 2);
+        }
+        assert!(
+            c.check_history_from(t_stable).is_ok(),
+            "suffix after first complete write must be regular"
+        );
+    }
+
+    #[test]
+    fn genesis_read_without_writes() {
+        let mut c = RegisterCluster::bounded(1).seed(8).build();
+        let r = c.read(c.client(0)).unwrap();
+        assert_eq!(r.value, 0);
+        assert!(c.check_history().is_ok());
+    }
+}

@@ -1,0 +1,167 @@
+//! Cluster sizing and quorum arithmetic.
+//!
+//! The paper's bounds, all expressed in terms of the Byzantine budget `f`:
+//!
+//! | quantity | value | role |
+//! |---|---|---|
+//! | resilience | `n ≥ 5f + 1` | Theorem 1 tight bound for stabilizing BFT regular registers |
+//! | quorum | `n − f` | replies a client waits for (termination despite `f` silent servers) |
+//! | witnesses | `2f + 1` | WTsG node weight needed to return a value (pins `f+1` correct servers) |
+//! | acks | `2f + 1` | ACKs a writer needs among its `n − f` phase-2 replies |
+//! | propagation | `3f + 1` | correct servers guaranteed to store a completed write (Lemma 2) |
+//!
+//! Configurations with `n ≤ 5f` are deliberately constructible — experiment
+//! E1 replays the Theorem 1 counterexample on one — but flagged by
+//! [`ClusterConfig::is_stabilizing_safe`].
+
+use sbft_net::ProcessId;
+use serde::{Deserialize, Serialize};
+
+/// Static parameters of a register cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of servers.
+    pub n: usize,
+    /// Upper bound on Byzantine servers.
+    pub f: usize,
+    /// Length of each server's `old_vals` sliding history. The paper uses
+    /// `n`; experiments E8/ablate_history sweep it.
+    pub history_depth: usize,
+    /// Size of each client's bounded read-label pool (`k` in Figure 3).
+    pub read_labels: usize,
+}
+
+impl ClusterConfig {
+    /// The paper's tight configuration: `n = 5f + 1` servers.
+    pub fn stabilizing(f: usize) -> Self {
+        Self::with_n(5 * f + 1, f)
+    }
+
+    /// A configuration with explicit `n` (possibly below the stabilizing
+    /// bound, for lower-bound experiments).
+    pub fn with_n(n: usize, f: usize) -> Self {
+        assert!(n >= 1, "need at least one server");
+        assert!(n > 3 * f, "even non-stabilizing BFT registers need n > 3f");
+        Self { n, f, history_depth: n, read_labels: 4 }
+    }
+
+    /// Override the server history depth.
+    pub fn history(mut self, depth: usize) -> Self {
+        assert!(depth >= 1);
+        self.history_depth = depth;
+        self
+    }
+
+    /// Override the read-label pool size (must be ≥ 2).
+    pub fn labels(mut self, k: usize) -> Self {
+        assert!(k >= 2);
+        self.read_labels = k;
+        self
+    }
+
+    /// Whether `n ≥ 5f + 1` — the Theorem 1 requirement for
+    /// pseudo-stabilizing BFT regularity.
+    pub fn is_stabilizing_safe(&self) -> bool {
+        self.n > 5 * self.f
+    }
+
+    /// `n − f`: the reply quorum every operation waits for.
+    pub fn quorum(&self) -> usize {
+        self.n - self.f
+    }
+
+    /// `2f + 1`: WTsG witness threshold and writer ACK threshold.
+    pub fn witness_threshold(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// `3f + 1`: correct servers guaranteed to hold a completed write
+    /// (Lemma 2), checked by experiment E3.
+    pub fn propagation_bound(&self) -> usize {
+        3 * self.f + 1
+    }
+
+    /// `k` for the bounded labeling system: the writer computes `next()`
+    /// over up to `n − f` received labels, so any `k ≥ n` is safe; we use
+    /// `n + 1` to also absorb the writer's own cached label.
+    pub fn label_k(&self) -> usize {
+        (self.n + 1).max(2)
+    }
+
+    /// Process ids `0..n` are servers.
+    pub fn server_ids(&self) -> impl Iterator<Item = ProcessId> + Clone {
+        0..self.n
+    }
+
+    /// Process id of the `i`-th client (clients live above the servers).
+    pub fn client_pid(&self, i: usize) -> ProcessId {
+        self.n + i
+    }
+
+    /// Whether `pid` designates a server.
+    pub fn is_server(&self, pid: ProcessId) -> bool {
+        pid < self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stabilizing_sizes() {
+        let c = ClusterConfig::stabilizing(1);
+        assert_eq!(c.n, 6);
+        assert_eq!(c.quorum(), 5);
+        assert_eq!(c.witness_threshold(), 3);
+        assert_eq!(c.propagation_bound(), 4);
+        assert!(c.is_stabilizing_safe());
+    }
+
+    #[test]
+    fn f2_sizes() {
+        let c = ClusterConfig::stabilizing(2);
+        assert_eq!(c.n, 11);
+        assert_eq!(c.quorum(), 9);
+        assert_eq!(c.witness_threshold(), 5);
+        assert_eq!(c.propagation_bound(), 7);
+    }
+
+    #[test]
+    fn theorem1_configuration_is_flagged() {
+        // 5 servers, 1 Byzantine: n = 5f — constructible but unsafe.
+        let c = ClusterConfig::with_n(5, 1);
+        assert!(!c.is_stabilizing_safe());
+        assert_eq!(c.quorum(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn below_3f_rejected() {
+        ClusterConfig::with_n(3, 1);
+    }
+
+    #[test]
+    fn client_pids_follow_servers() {
+        let c = ClusterConfig::stabilizing(1);
+        assert_eq!(c.client_pid(0), 6);
+        assert_eq!(c.client_pid(2), 8);
+        assert!(c.is_server(5));
+        assert!(!c.is_server(6));
+    }
+
+    #[test]
+    fn label_k_covers_quorum() {
+        for f in 1..5 {
+            let c = ClusterConfig::stabilizing(f);
+            assert!(c.label_k() >= c.quorum());
+        }
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = ClusterConfig::stabilizing(1).history(3).labels(8);
+        assert_eq!(c.history_depth, 3);
+        assert_eq!(c.read_labels, 8);
+    }
+}

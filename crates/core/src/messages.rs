@@ -1,0 +1,154 @@
+//! The wire protocol of Figures 1–3, plus environment commands and
+//! client-observable events.
+//!
+//! One message enum covers the whole protocol so that a single simulation
+//! can host servers, clients, and Byzantine processes exchanging arbitrary
+//! (including forged or stale) messages. `T` is the timestamp type
+//! ([`crate::Ts`] over some base labeling system).
+
+use sbft_labels::ReadLabel;
+
+/// Values stored in the register. A fixed scalar keeps the protocol layer
+/// monomorphic; workloads encode whatever payload identity they need.
+pub type Value = u64;
+
+/// A `(value, timestamp)` pair as stored in server histories and `REPLY`
+/// payloads.
+pub type ValTs<T> = (Value, T);
+
+/// Every message of the register protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Msg<T> {
+    // ---- write protocol (Figure 1) ----
+    /// Writer → servers: request current timestamps (phase 1).
+    GetTs,
+    /// Server → writer: its current timestamp.
+    TsReply {
+        /// The server's current timestamp.
+        ts: T,
+    },
+    /// Writer → servers: write `value` with the freshly computed `ts`
+    /// (phase 2).
+    Write {
+        /// Value being written.
+        value: Value,
+        /// Timestamp computed by `next()` over the phase-1 quorum.
+        ts: T,
+    },
+    /// Server → writer: ACK (`ack == true`) when the write's timestamp
+    /// followed the server's local one, NACK otherwise. Sent in either
+    /// case (the server adopts the value regardless).
+    WriteAck {
+        /// Timestamp this ack refers to (matches a specific write).
+        ts: T,
+        /// ACK or NACK.
+        ack: bool,
+    },
+
+    // ---- read protocol (Figure 2) ----
+    /// Reader → servers in its safe set: request the current value, tagged
+    /// with a bounded read label.
+    Read {
+        /// The read operation's label.
+        label: ReadLabel,
+    },
+    /// Server → reader: current value + timestamp + recent-write history,
+    /// echoing the read label. Also sent spontaneously to running readers
+    /// when a write lands (Figure 1 server side, last step).
+    Reply {
+        /// The server's current value.
+        value: Value,
+        /// The server's current timestamp.
+        ts: T,
+        /// The server's `old_vals` sliding window (most recent first).
+        old: Vec<ValTs<T>>,
+        /// Label of the read this reply answers.
+        label: ReadLabel,
+    },
+    /// Reader → servers: the labelled read finished; stop forwarding.
+    CompleteRead {
+        /// Label of the finished read.
+        label: ReadLabel,
+    },
+
+    // ---- find_read_label (Figure 3) ----
+    /// Reader → servers: flush marker; its reflection certifies that the
+    /// FIFO channel holds no stale reply with this label.
+    Flush {
+        /// Candidate label being recycled.
+        label: ReadLabel,
+    },
+    /// Server → reader: flush reflection.
+    FlushAck {
+        /// The echoed label.
+        label: ReadLabel,
+    },
+
+    // ---- environment commands (driver → client) ----
+    /// Start a `write(value)` operation.
+    InvokeWrite {
+        /// Value to write.
+        value: Value,
+    },
+    /// Start a `read()` operation.
+    InvokeRead,
+}
+
+/// Observable client events, emitted as simulation outputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientEvent<T> {
+    /// A `write(value)` returned; `ts` is the timestamp it installed.
+    WriteDone {
+        /// The written value.
+        value: Value,
+        /// Timestamp computed for this write.
+        ts: T,
+    },
+    /// A `read()` returned `value`.
+    ReadDone {
+        /// The value read.
+        value: Value,
+        /// The timestamp witnessing the value.
+        ts: T,
+        /// Whether the union-graph fallback (Figure 2a line 15) decided.
+        via_union: bool,
+    },
+    /// A `read()` aborted: no value reached the witness threshold in the
+    /// local or union graph — servers are in a transitory phase.
+    ReadAborted,
+}
+
+impl<T> ClientEvent<T> {
+    /// Whether this event terminates a read operation.
+    pub fn is_read_end(&self) -> bool {
+        matches!(self, ClientEvent::ReadDone { .. } | ClientEvent::ReadAborted)
+    }
+
+    /// Whether this event terminates a write operation.
+    pub fn is_write_end(&self) -> bool {
+        matches!(self, ClientEvent::WriteDone { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_classifiers() {
+        let w: ClientEvent<u64> = ClientEvent::WriteDone { value: 1, ts: 2 };
+        let r: ClientEvent<u64> = ClientEvent::ReadDone { value: 1, ts: 2, via_union: false };
+        let a: ClientEvent<u64> = ClientEvent::ReadAborted;
+        assert!(w.is_write_end() && !w.is_read_end());
+        assert!(r.is_read_end() && !r.is_write_end());
+        assert!(a.is_read_end());
+    }
+
+    #[test]
+    fn messages_are_cloneable_and_comparable() {
+        let m: Msg<u64> = Msg::Write { value: 3, ts: 9 };
+        assert_eq!(m.clone(), m);
+        let r: Msg<u64> = Msg::Reply { value: 1, ts: 2, old: vec![(0, 1)], label: 3 };
+        assert_ne!(m, r);
+    }
+}

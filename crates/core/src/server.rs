@@ -1,0 +1,326 @@
+//! The server automaton (server sides of Figures 1, 2b and 3b).
+//!
+//! A server keeps the register copy `(value, ts)`, the `old_vals` sliding
+//! history of recently applied writes, and the `running_read` table of
+//! readers with an open labelled read. Its reactions are one-shot and
+//! stateless across messages, which is what makes the protocol's server
+//! side wait-free:
+//!
+//! * `GET_TS` → `TS_REPLY(ts)`;
+//! * `WRITE(v, ts)` → `ACK` iff `local_ts ≺ ts`, else `NACK`; **in either
+//!   case** adopt `(v, ts)`, shift the old pair into `old_vals`, and
+//!   forward the new pair to every running reader (so a reader blocked on
+//!   a concurrent write still converges);
+//! * `READ(ℓ)` → register the reader in `running_read`, `REPLY` with the
+//!   current pair and history;
+//! * `COMPLETE_READ(ℓ)` → deregister;
+//! * `FLUSH(ℓ)` → reflect `FLUSH_ACK(ℓ)` (the FIFO-order certificate used
+//!   by `find_read_label`).
+//!
+//! Transient faults (the [`Automaton::corrupt`] hook) scramble **all** of
+//! this state: value, timestamp, history (with ill-formed labels), and the
+//! `running_read` table — the arbitrary initial configuration of the model.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sbft_labels::{LabelingSystem, ReadLabel};
+use sbft_net::{Automaton, Ctx, ProcessId, ENV};
+
+use crate::config::ClusterConfig;
+use crate::messages::{ClientEvent, Msg, ValTs, Value};
+use crate::{Sys, Ts};
+
+/// A correct register server.
+pub struct Server<B: LabelingSystem> {
+    sys: Sys<B>,
+    cfg: ClusterConfig,
+    /// `v_i` — current register value.
+    pub value: Value,
+    /// `ts_i` — current timestamp.
+    pub ts: Ts<B>,
+    /// `old_vals_i` — most-recent-first sliding window of applied writes.
+    pub old_vals: VecDeque<ValTs<Ts<B>>>,
+    /// `running_read_i` — reader pid → label of its open read.
+    pub running_read: BTreeMap<ProcessId, ReadLabel>,
+    /// Count of writes applied (diagnostics only).
+    pub writes_applied: u64,
+}
+
+impl<B: LabelingSystem> Server<B> {
+    /// A server booted in the canonical clean state.
+    pub fn new(sys: Sys<B>, cfg: ClusterConfig) -> Self {
+        let genesis = sys.genesis();
+        Self {
+            sys,
+            cfg,
+            value: 0,
+            ts: genesis,
+            old_vals: VecDeque::new(),
+            running_read: BTreeMap::new(),
+            writes_applied: 0,
+        }
+    }
+
+    /// Snapshot of the history window, most recent first.
+    fn history(&self) -> Vec<ValTs<Ts<B>>> {
+        self.old_vals.iter().cloned().collect()
+    }
+
+    fn apply_write(&mut self, value: Value, ts: Ts<B>) {
+        let prev = (self.value, self.ts.clone());
+        self.old_vals.push_front(prev);
+        self.old_vals.truncate(self.cfg.history_depth);
+        self.value = value;
+        self.ts = ts;
+        self.writes_applied += 1;
+    }
+}
+
+impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for Server<B> {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Msg<Ts<B>>,
+        ctx: &mut Ctx<'_, Msg<Ts<B>>, ClientEvent<Ts<B>>>,
+    ) {
+        if from == ENV {
+            return; // servers take no environment commands
+        }
+        match msg {
+            Msg::GetTs => {
+                ctx.send(from, Msg::TsReply { ts: self.ts.clone() });
+            }
+            Msg::Write { value, ts } => {
+                // Sanitize before any algebraic use: the writer (or the
+                // channel) may have been corrupted.
+                let ts = self.sys.sanitize(ts);
+                let ack = self.sys.precedes(&self.ts, &ts);
+                // Adopt unconditionally (Figure 1 server side: "in any
+                // case, the server updates its local copy").
+                self.apply_write(value, ts.clone());
+                ctx.send(from, Msg::WriteAck { ts, ack });
+                // Forward the fresh pair to all running readers.
+                let old = self.history();
+                for (&reader, &label) in &self.running_read {
+                    ctx.send(
+                        reader,
+                        Msg::Reply {
+                            value: self.value,
+                            ts: self.ts.clone(),
+                            old: old.clone(),
+                            label,
+                        },
+                    );
+                }
+            }
+            Msg::Read { label } => {
+                self.running_read.insert(from, label);
+                ctx.send(
+                    from,
+                    Msg::Reply {
+                        value: self.value,
+                        ts: self.ts.clone(),
+                        old: self.history(),
+                        label,
+                    },
+                );
+            }
+            Msg::CompleteRead { label } => {
+                if self.running_read.get(&from) == Some(&label) {
+                    self.running_read.remove(&from);
+                }
+            }
+            Msg::Flush { label } => {
+                ctx.send(from, Msg::FlushAck { label });
+            }
+            // Messages a correct server never consumes (stale client-bound
+            // traffic, channel garbage) are dropped silently.
+            Msg::TsReply { .. }
+            | Msg::WriteAck { .. }
+            | Msg::Reply { .. }
+            | Msg::FlushAck { .. }
+            | Msg::InvokeWrite { .. }
+            | Msg::InvokeRead => {}
+        }
+    }
+
+    fn corrupt(&mut self, rng: &mut StdRng) {
+        self.value = rng.gen();
+        self.ts = self.sys.arbitrary(rng);
+        let hist_len = rng.gen_range(0..=self.cfg.history_depth);
+        self.old_vals = (0..hist_len)
+            .map(|_| (rng.gen::<Value>(), self.sys.arbitrary(rng)))
+            .collect();
+        // Phantom running reads pointing at arbitrary clients/labels.
+        self.running_read.clear();
+        for _ in 0..rng.gen_range(0..4usize) {
+            let reader = self.cfg.n + rng.gen_range(0..4usize);
+            self.running_read.insert(reader, rng.gen_range(0..self.cfg.read_labels as u32));
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sbft_labels::{BoundedLabeling, MwmrLabeling};
+
+    type B = BoundedLabeling;
+
+    fn server() -> Server<B> {
+        let cfg = ClusterConfig::stabilizing(1);
+        Server::new(MwmrLabeling::new(BoundedLabeling::new(cfg.label_k())), cfg)
+    }
+
+    fn ctx_run(
+        s: &mut Server<B>,
+        from: ProcessId,
+        msg: Msg<Ts<B>>,
+    ) -> Vec<(ProcessId, Msg<Ts<B>>)> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Ctx::detached(0, 0, &mut rng);
+        s.on_message(from, msg, &mut ctx);
+        ctx.drain().0
+    }
+
+    fn fresh_ts(s: &Server<B>) -> Ts<B> {
+        s.sys.next_for(9, std::slice::from_ref(&s.ts))
+    }
+
+    #[test]
+    fn get_ts_replies_current() {
+        let mut s = server();
+        let out = ctx_run(&mut s, 7, Msg::GetTs);
+        assert_eq!(out, vec![(7, Msg::TsReply { ts: s.ts.clone() })]);
+    }
+
+    #[test]
+    fn dominating_write_acks_and_adopts() {
+        let mut s = server();
+        let ts = fresh_ts(&s);
+        let out = ctx_run(&mut s, 7, Msg::Write { value: 42, ts: ts.clone() });
+        assert_eq!(out, vec![(7, Msg::WriteAck { ts: ts.clone(), ack: true })]);
+        assert_eq!(s.value, 42);
+        assert_eq!(s.ts, ts);
+        assert_eq!(s.old_vals.len(), 1);
+        assert_eq!(s.old_vals[0].0, 0); // genesis pair shifted into history
+    }
+
+    #[test]
+    fn stale_write_nacks_but_still_adopts() {
+        let mut s = server();
+        let newer = fresh_ts(&s);
+        ctx_run(&mut s, 7, Msg::Write { value: 1, ts: newer.clone() });
+        // Re-deliver a write whose ts does NOT dominate the current one.
+        let stale = s.sys.genesis();
+        let out = ctx_run(&mut s, 7, Msg::Write { value: 2, ts: stale.clone() });
+        match &out[0].1 {
+            Msg::WriteAck { ack, .. } => assert!(!ack, "stale write must NACK"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Paper: the server adopts in any case.
+        assert_eq!(s.value, 2);
+    }
+
+    #[test]
+    fn read_registers_and_replies_with_history() {
+        let mut s = server();
+        let ts = fresh_ts(&s);
+        ctx_run(&mut s, 9, Msg::Write { value: 5, ts });
+        let out = ctx_run(&mut s, 8, Msg::Read { label: 2 });
+        assert_eq!(s.running_read.get(&8), Some(&2));
+        match &out[0].1 {
+            Msg::Reply { value, old, label, .. } => {
+                assert_eq!(*value, 5);
+                assert_eq!(*label, 2);
+                assert_eq!(old.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writes_forward_to_running_readers() {
+        let mut s = server();
+        ctx_run(&mut s, 8, Msg::Read { label: 1 });
+        let ts = fresh_ts(&s);
+        let out = ctx_run(&mut s, 9, Msg::Write { value: 77, ts });
+        // One WriteAck to the writer + one forwarded Reply to reader 8.
+        assert_eq!(out.len(), 2);
+        let fwd = out.iter().find(|(to, _)| *to == 8).expect("forwarded reply");
+        match &fwd.1 {
+            Msg::Reply { value, label, .. } => {
+                assert_eq!(*value, 77);
+                assert_eq!(*label, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complete_read_deregisters_matching_label_only() {
+        let mut s = server();
+        ctx_run(&mut s, 8, Msg::Read { label: 1 });
+        ctx_run(&mut s, 8, Msg::CompleteRead { label: 0 });
+        assert!(s.running_read.contains_key(&8), "wrong label must not deregister");
+        ctx_run(&mut s, 8, Msg::CompleteRead { label: 1 });
+        assert!(!s.running_read.contains_key(&8));
+    }
+
+    #[test]
+    fn flush_reflects() {
+        let mut s = server();
+        let out = ctx_run(&mut s, 8, Msg::Flush { label: 3 });
+        assert_eq!(out, vec![(8, Msg::FlushAck { label: 3 })]);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut s = server();
+        for i in 0..50 {
+            let ts = fresh_ts(&s);
+            ctx_run(&mut s, 9, Msg::Write { value: i, ts });
+        }
+        assert!(s.old_vals.len() <= s.cfg.history_depth);
+        assert_eq!(s.writes_applied, 50);
+    }
+
+    #[test]
+    fn corrupt_scrambles_then_write_recovers() {
+        let mut s = server();
+        let mut rng = StdRng::seed_from_u64(5);
+        s.corrupt(&mut rng);
+        // A write with a sanitized dominating ts is adopted and acked or
+        // nacked — but adopted either way, cleaning the state.
+        let clean = s.sys.next_for(1, &[s.sys.sanitize(s.ts.clone())]);
+        ctx_run(&mut s, 9, Msg::Write { value: 11, ts: clean.clone() });
+        assert_eq!(s.value, 11);
+        assert_eq!(s.ts, clean);
+    }
+
+    #[test]
+    fn garbage_messages_ignored() {
+        let mut s = server();
+        let before_val = s.value;
+        let genesis = s.sys.genesis();
+        let out = ctx_run(&mut s, 8, Msg::TsReply { ts: genesis });
+        assert!(out.is_empty());
+        let out = ctx_run(&mut s, 8, Msg::InvokeWrite { value: 9 });
+        assert!(out.is_empty());
+        assert_eq!(s.value, before_val);
+    }
+
+    #[test]
+    fn env_messages_ignored() {
+        let mut s = server();
+        let out = ctx_run(&mut s, ENV, Msg::GetTs);
+        assert!(out.is_empty());
+    }
+}

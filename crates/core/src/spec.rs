@@ -1,0 +1,681 @@
+//! Execution histories and the MWMR regular-register specification checker.
+//!
+//! The recorder captures, per operation, its invocation and return times on
+//! the simulator's fictional global clock — exactly the device Section II-A
+//! uses to define precedence (`op ≺ op'` iff `t_E(op) < t_B(op')`) and
+//! concurrency. The checker then verifies:
+//!
+//! * **Validity** — every completed read returns either the value of the
+//!   last write preceding it or of a write concurrent with it. A read `r`
+//!   returning write `w` is a violation if some other write `w'` satisfies
+//!   `w ≺ w' ≺ r` (a *stale read*), if `r ≺ w` (a *future read*), or if no
+//!   write (nor the genesis value) matches what was returned (an *unknown
+//!   value* — possible only while servers are corrupted).
+//! * **Write order** (the MWMR consistency requirement, Lemma 8) — the
+//!   timestamp order of writes must extend their real-time order for
+//!   **consecutive** writes: if `w1 ≺ w2` in real time with no third write
+//!   strictly between them, then `ts(w1) ≺ ts(w2)`. (Lemma 8 claims exactly
+//!   consecutive-or-concurrent pairs; distant pairs are *expected* to be
+//!   incomparable under the non-transitive bounded label order — that is
+//!   what lets the label space stay finite.)
+//!
+//! Pseudo-stabilization (Definition 1) is checked by running the verifier
+//! on the execution **suffix** following the first complete write after the
+//! transient fault ([`HistoryRecorder::check_from`]); violations before the
+//! suffix are permitted and counted separately (experiment E4).
+
+use sbft_labels::LabelingSystem;
+use sbft_net::ProcessId;
+
+use crate::messages::{ClientEvent, Value};
+use crate::{Sys, Ts};
+
+/// The kind of operation a record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// A `write(value)`.
+    Write,
+    /// A `read()`.
+    Read,
+}
+
+/// How a completed operation ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpOutcome<B: LabelingSystem> {
+    /// Write installed `value` at `ts`.
+    Wrote {
+        /// The written value.
+        value: Value,
+        /// The installed timestamp.
+        ts: Ts<B>,
+    },
+    /// Read returned `value` witnessed at `ts`.
+    ReadValue {
+        /// The returned value.
+        value: Value,
+        /// The witnessing timestamp.
+        ts: Ts<B>,
+        /// Whether the union-graph fallback decided.
+        via_union: bool,
+    },
+    /// Read aborted (transitory phase).
+    ReadAbort,
+}
+
+/// One operation of the history.
+#[derive(Clone, Debug)]
+pub struct OpRecord<B: LabelingSystem> {
+    /// The invoking client.
+    pub client: ProcessId,
+    /// Read or write.
+    pub kind: OpKind,
+    /// `t_B` — invocation time.
+    pub invoked_at: u64,
+    /// `t_E` — return time (`None` while pending / failed).
+    pub returned_at: Option<u64>,
+    /// The outcome, once returned.
+    pub outcome: Option<OpOutcome<B>>,
+    /// For writes: the value the invocation intends to install, known
+    /// from the start (used to bind reads to *incomplete* writes — a
+    /// crashed writer's value may legally be returned by readers).
+    pub intent: Option<Value>,
+}
+
+impl<B: LabelingSystem> OpRecord<B> {
+    /// Whether this operation completed.
+    pub fn is_complete(&self) -> bool {
+        self.returned_at.is_some()
+    }
+
+    /// `self ≺ other` in the real-time precedence of Section II-A.
+    pub fn precedes(&self, other: &OpRecord<B>) -> bool {
+        match self.returned_at {
+            Some(end) => end < other.invoked_at,
+            None => false,
+        }
+    }
+
+    /// Whether this is a completed write, returning its value/timestamp.
+    pub fn as_write(&self) -> Option<(Value, &Ts<B>)> {
+        match &self.outcome {
+            Some(OpOutcome::Wrote { value, ts }) => Some((*value, ts)),
+            _ => None,
+        }
+    }
+}
+
+/// A regularity violation found by the checker. Indices refer to
+/// [`HistoryRecorder::ops`]; `usize::MAX` denotes the genesis pseudo-write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegularityError {
+    /// Read `read` returned write `write`, but `superseding` completely
+    /// falls between them.
+    StaleRead {
+        /// Index of the read in the history.
+        read: usize,
+        /// Index of the returned write (`usize::MAX` = genesis).
+        write: usize,
+        /// Index of the superseding write.
+        superseding: usize,
+    },
+    /// Read `read` returned a write invoked only after the read returned.
+    FutureRead {
+        /// Index of the read.
+        read: usize,
+        /// Index of the future write.
+        write: usize,
+    },
+    /// Read `read` returned a value no write produced (nor genesis).
+    UnknownValue {
+        /// Index of the read.
+        read: usize,
+        /// The mystery value.
+        value: Value,
+    },
+    /// Writes `first ≺ second` in real time but not in timestamp order.
+    WriteOrderInversion {
+        /// Index of the earlier write.
+        first: usize,
+        /// Index of the later write.
+        second: usize,
+    },
+}
+
+/// Records operations as the driver injects commands and observes events.
+#[derive(Clone, Debug)]
+pub struct HistoryRecorder<B: LabelingSystem> {
+    ops: Vec<OpRecord<B>>,
+    open: std::collections::BTreeMap<ProcessId, usize>,
+}
+
+impl<B: LabelingSystem> Default for HistoryRecorder<B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: LabelingSystem> HistoryRecorder<B> {
+    /// Fresh empty history.
+    pub fn new() -> Self {
+        Self { ops: Vec::new(), open: Default::default() }
+    }
+
+    /// All records.
+    pub fn ops(&self) -> &[OpRecord<B>] {
+        &self.ops
+    }
+
+    /// Number of reads that completed with an abort.
+    pub fn aborted_reads(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.outcome, Some(OpOutcome::ReadAbort)))
+            .count()
+    }
+
+    /// Number of completed writes.
+    pub fn completed_writes(&self) -> usize {
+        self.ops.iter().filter(|o| o.as_write().is_some()).count()
+    }
+
+    /// An operation began on `client` at `now`. Returns its index.
+    pub fn begin(&mut self, client: ProcessId, kind: OpKind, now: u64) -> usize {
+        self.begin_with_intent(client, kind, now, None)
+    }
+
+    /// Like [`HistoryRecorder::begin`], also recording a write's intended
+    /// value (so reads can be bound to in-flight/failed writes).
+    pub fn begin_with_intent(
+        &mut self,
+        client: ProcessId,
+        kind: OpKind,
+        now: u64,
+        intent: Option<Value>,
+    ) -> usize {
+        let idx = self.ops.len();
+        self.ops.push(OpRecord {
+            client,
+            kind,
+            invoked_at: now,
+            returned_at: None,
+            outcome: None,
+            intent,
+        });
+        self.open.insert(client, idx);
+        idx
+    }
+
+    /// A terminal [`ClientEvent`] was observed from `client` at `now`;
+    /// closes that client's open operation. Returns the op index.
+    pub fn complete(&mut self, client: ProcessId, now: u64, ev: &ClientEvent<Ts<B>>) -> Option<usize> {
+        let idx = self.open.remove(&client)?;
+        let op = &mut self.ops[idx];
+        op.returned_at = Some(now);
+        op.outcome = Some(match ev {
+            ClientEvent::WriteDone { value, ts } => {
+                OpOutcome::Wrote { value: *value, ts: ts.clone() }
+            }
+            ClientEvent::ReadDone { value, ts, via_union } => OpOutcome::ReadValue {
+                value: *value,
+                ts: ts.clone(),
+                via_union: *via_union,
+            },
+            ClientEvent::ReadAborted => OpOutcome::ReadAbort,
+        });
+        Some(idx)
+    }
+
+    /// Drop all records (e.g. to restart accounting after a fault).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.open.clear();
+    }
+
+    /// Check the full history against MWMR regularity.
+    pub fn check(&self, sys: &Sys<B>) -> Result<(), Vec<RegularityError>> {
+        self.check_from(sys, 0)
+    }
+
+    /// Check the suffix: only reads invoked at/after `from_time` must be
+    /// valid, and only write pairs both completing at/after `from_time`
+    /// must be timestamp-ordered. (Writes from before the suffix still
+    /// participate as candidate return values.)
+    pub fn check_from(&self, sys: &Sys<B>, from_time: u64) -> Result<(), Vec<RegularityError>> {
+        let mut errors = Vec::new();
+        self.check_reads(from_time, &mut errors);
+        self.check_write_order(sys, from_time, &mut errors);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    fn check_reads(&self, from_time: u64, errors: &mut Vec<RegularityError>) {
+        for (ri, read) in self.ops.iter().enumerate() {
+            if read.invoked_at < from_time {
+                continue;
+            }
+            let Some(OpOutcome::ReadValue { value, .. }) = &read.outcome else {
+                continue;
+            };
+            // An *incomplete* write (crashed writer) of this value is a
+            // permanently concurrent operation: its value is a legal
+            // return for any read it does not strictly follow.
+            let pending_source = self.ops.iter().any(|w| {
+                w.kind == OpKind::Write
+                    && w.outcome.is_none()
+                    && w.intent == Some(*value)
+                    && !read.precedes(w)
+            });
+            if pending_source {
+                continue;
+            }
+            // Candidate source writes: completed writes of the same value.
+            let candidates: Vec<usize> = self
+                .ops
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.as_write().map(|(v, _)| v == *value).unwrap_or(false))
+                .map(|(i, _)| i)
+                .collect();
+
+            if candidates.is_empty() {
+                if *value == 0 {
+                    // Genesis read: valid only if no write completed before
+                    // the read began.
+                    if let Some((wi, _)) = self
+                        .ops
+                        .iter()
+                        .enumerate()
+                        .find(|(_, w)| w.as_write().is_some() && w.precedes(read))
+                    {
+                        errors.push(RegularityError::StaleRead {
+                            read: ri,
+                            write: usize::MAX,
+                            superseding: wi,
+                        });
+                    }
+                } else {
+                    errors.push(RegularityError::UnknownValue { read: ri, value: *value });
+                }
+                continue;
+            }
+
+            // Valid if at least one candidate satisfies regularity.
+            let mut first_violation: Option<RegularityError> = None;
+            let valid = candidates.iter().any(|&wi| {
+                let w = &self.ops[wi];
+                if read.precedes(w) {
+                    first_violation
+                        .get_or_insert(RegularityError::FutureRead { read: ri, write: wi });
+                    return false;
+                }
+                let superseding = self
+                    .ops
+                    .iter()
+                    .enumerate()
+                    .find(|(wj, wp)| {
+                        *wj != wi && wp.as_write().is_some() && w.precedes(wp) && wp.precedes(read)
+                    })
+                    .map(|(wj, _)| wj);
+                match superseding {
+                    Some(wj) => {
+                        first_violation.get_or_insert(RegularityError::StaleRead {
+                            read: ri,
+                            write: wi,
+                            superseding: wj,
+                        });
+                        false
+                    }
+                    None => true,
+                }
+            });
+            if !valid {
+                if let Some(v) = first_violation {
+                    errors.push(v);
+                }
+            }
+        }
+    }
+
+    /// Count **new/old inversions** — the behaviour a *regular* register
+    /// permits but an *atomic* one forbids: two reads `r1 ≺ r2` (real
+    /// time) where `r2` returns a write strictly older than the write
+    /// `r1` returned. Reads are bound to writes by value (completed
+    /// outcome or recorded intent; `None` binding = the genesis value,
+    /// which precedes every write). This is a *necessary* condition for
+    /// atomicity, not a full linearizability check (which is the
+    /// Gibbons–Korach construction and out of scope); experiment E12 uses
+    /// it to separate the paper's regular reads from the write-back
+    /// extension.
+    pub fn new_old_inversions(&self) -> Vec<(usize, usize)> {
+        // Bind each completed value-returning read to a source write.
+        let bind = |value: Value| -> Option<usize> {
+            self.ops
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| {
+                    o.kind == OpKind::Write
+                        && (o.as_write().map(|(v, _)| v == value).unwrap_or(false)
+                            || (o.outcome.is_none() && o.intent == Some(value)))
+                })
+                .map(|(i, _)| i)
+                .next_back() // most recent matching write
+        };
+        let reads: Vec<(usize, Option<usize>)> = self
+            .ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| match &o.outcome {
+                Some(OpOutcome::ReadValue { value, .. }) => Some((i, bind(*value))),
+                _ => None,
+            })
+            .collect();
+        let mut inversions = Vec::new();
+        for &(r1, wa) in &reads {
+            for &(r2, wb) in &reads {
+                if r1 == r2 || !self.ops[r1].precedes(&self.ops[r2]) {
+                    continue;
+                }
+                let older = match (wa, wb) {
+                    // r2 bound strictly earlier than r1's binding?
+                    (Some(wa), Some(wb)) => {
+                        wb != wa
+                            && self.ops[wb]
+                                .returned_at
+                                .map(|e| e < self.ops[wa].invoked_at)
+                                .unwrap_or(false)
+                    }
+                    // r2 returned genesis while r1 returned a real write.
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                if older {
+                    inversions.push((r1, r2));
+                }
+            }
+        }
+        inversions
+    }
+
+    fn check_write_order(
+        &self,
+        sys: &Sys<B>,
+        from_time: u64,
+        errors: &mut Vec<RegularityError>,
+    ) {
+        let suffix: Vec<usize> = self
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.as_write().is_some() && o.returned_at.unwrap_or(0) >= from_time)
+            .map(|(i, _)| i)
+            .collect();
+        for &i in &suffix {
+            for &j in &suffix {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = (&self.ops[i], &self.ops[j]);
+                if !a.precedes(b) {
+                    continue;
+                }
+                // Lemma 8 covers *consecutive* pairs only ("no other write
+                // operation is executed between w1 and w2"): skip if any
+                // third write's execution intersects the window — i.e. it
+                // neither completely precedes `a` nor completely follows
+                // `b`. A write merely *concurrent* with either endpoint
+                // already breaks consecutiveness, because the endpoint's
+                // quorum may have absorbed its (incomparable) timestamp.
+                let intervening = suffix.iter().any(|&k| {
+                    k != i && k != j && {
+                        let w = &self.ops[k];
+                        !w.precedes(a) && !b.precedes(w)
+                    }
+                });
+                if intervening {
+                    continue;
+                }
+                let (Some((_, ta)), Some((_, tb))) = (a.as_write(), b.as_write()) else {
+                    continue;
+                };
+                if !sys.precedes(ta, tb) {
+                    errors.push(RegularityError::WriteOrderInversion { first: i, second: j });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_labels::{BoundedLabeling, MwmrLabeling};
+
+    type B = BoundedLabeling;
+
+    fn sys() -> Sys<B> {
+        MwmrLabeling::new(BoundedLabeling::new(7))
+    }
+
+    fn write_done(s: &Sys<B>, v: Value, prev: &Ts<B>) -> (ClientEvent<Ts<B>>, Ts<B>) {
+        let ts = s.next_for(1, std::slice::from_ref(prev));
+        (ClientEvent::WriteDone { value: v, ts: ts.clone() }, ts)
+    }
+
+    #[test]
+    fn sequential_write_then_read_is_regular() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        let g = s.genesis();
+        h.begin(10, OpKind::Write, 0);
+        let (ev, ts) = write_done(&s, 5, &g);
+        h.complete(10, 10, &ev);
+        h.begin(11, OpKind::Read, 20);
+        h.complete(11, 30, &ClientEvent::ReadDone { value: 5, ts, via_union: false });
+        assert!(h.check(&s).is_ok());
+    }
+
+    #[test]
+    fn stale_read_detected() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        let g = s.genesis();
+        // w1 [0,10] then w2 [20,30], then read [40,50] returning w1's value.
+        h.begin(10, OpKind::Write, 0);
+        let (ev1, ts1) = write_done(&s, 5, &g);
+        h.complete(10, 10, &ev1);
+        h.begin(10, OpKind::Write, 20);
+        let (ev2, _ts2) = write_done(&s, 6, &ts1);
+        h.complete(10, 30, &ev2);
+        h.begin(11, OpKind::Read, 40);
+        h.complete(11, 50, &ClientEvent::ReadDone { value: 5, ts: ts1, via_union: false });
+        let errs = h.check(&s).unwrap_err();
+        assert!(matches!(errs[0], RegularityError::StaleRead { .. }));
+    }
+
+    #[test]
+    fn concurrent_write_value_is_allowed() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        let g = s.genesis();
+        // Write [0,100] concurrent with read [10,20] that returns it.
+        h.begin(10, OpKind::Write, 0);
+        h.begin(11, OpKind::Read, 10);
+        let ts = s.next_for(1, std::slice::from_ref(&g));
+        h.complete(11, 20, &ClientEvent::ReadDone { value: 7, ts: ts.clone(), via_union: false });
+        h.complete(10, 100, &ClientEvent::WriteDone { value: 7, ts });
+        assert!(h.check(&s).is_ok());
+    }
+
+    #[test]
+    fn genesis_read_before_any_write_is_valid() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        h.begin(11, OpKind::Read, 0);
+        h.complete(
+            11,
+            5,
+            &ClientEvent::ReadDone { value: 0, ts: s.genesis(), via_union: false },
+        );
+        assert!(h.check(&s).is_ok());
+    }
+
+    #[test]
+    fn genesis_read_after_a_write_is_stale() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        let g = s.genesis();
+        h.begin(10, OpKind::Write, 0);
+        let (ev, _) = write_done(&s, 5, &g);
+        h.complete(10, 10, &ev);
+        h.begin(11, OpKind::Read, 20);
+        h.complete(
+            11,
+            30,
+            &ClientEvent::ReadDone { value: 0, ts: s.genesis(), via_union: false },
+        );
+        let errs = h.check(&s).unwrap_err();
+        assert!(matches!(
+            errs[0],
+            RegularityError::StaleRead { write: usize::MAX, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_value_detected() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        h.begin(11, OpKind::Read, 0);
+        h.complete(
+            11,
+            5,
+            &ClientEvent::ReadDone { value: 999, ts: s.genesis(), via_union: false },
+        );
+        let errs = h.check(&s).unwrap_err();
+        assert_eq!(errs[0], RegularityError::UnknownValue { read: 0, value: 999 });
+    }
+
+    #[test]
+    fn write_order_inversion_detected() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        let g = s.genesis();
+        let ts1 = s.next_for(1, std::slice::from_ref(&g));
+        let ts2 = s.next_for(2, std::slice::from_ref(&ts1));
+        // Real time: w(ts2) [0,10] ≺ w(ts1) [20,30] — but ts1 ≺ ts2: inverted.
+        h.begin(10, OpKind::Write, 0);
+        h.complete(10, 10, &ClientEvent::WriteDone { value: 1, ts: ts2 });
+        h.begin(10, OpKind::Write, 20);
+        h.complete(10, 30, &ClientEvent::WriteDone { value: 2, ts: ts1 });
+        let errs = h.check(&s).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, RegularityError::WriteOrderInversion { .. })));
+    }
+
+    #[test]
+    fn suffix_check_forgives_pre_fault_reads() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        // Garbage read at t=5 (pre-suffix), clean behaviour after t=100.
+        h.begin(11, OpKind::Read, 0);
+        h.complete(
+            11,
+            5,
+            &ClientEvent::ReadDone { value: 999, ts: s.genesis(), via_union: false },
+        );
+        assert!(h.check(&s).is_err());
+        assert!(h.check_from(&s, 100).is_ok());
+    }
+
+    #[test]
+    fn aborts_are_counted_not_violations() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        h.begin(11, OpKind::Read, 0);
+        h.complete(11, 5, &ClientEvent::ReadAborted);
+        assert!(h.check(&s).is_ok());
+        assert_eq!(h.aborted_reads(), 1);
+    }
+
+    #[test]
+    fn inversion_detector_finds_new_then_old() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        let g = s.genesis();
+        // w1 [0,10] completes; w2 [20,∞) crashes (intent 6).
+        h.begin_with_intent(10, OpKind::Write, 0, Some(5));
+        let (ev1, ts1) = write_done(&s, 5, &g);
+        h.complete(10, 10, &ev1);
+        h.begin_with_intent(12, OpKind::Write, 20, Some(6));
+        // r1 [30,40] returns the in-flight 6; r2 [50,60] regresses to 5.
+        let ts2 = s.next_for(2, std::slice::from_ref(&ts1));
+        h.begin(11, OpKind::Read, 30);
+        h.complete(11, 40, &ClientEvent::ReadDone { value: 6, ts: ts2, via_union: false });
+        h.begin(11, OpKind::Read, 50);
+        h.complete(11, 60, &ClientEvent::ReadDone { value: 5, ts: ts1, via_union: false });
+        let inv = h.new_old_inversions();
+        assert_eq!(inv.len(), 1, "{inv:?}");
+        // Regularity itself is NOT violated (w2 is forever concurrent).
+        assert!(h.check(&s).is_ok());
+    }
+
+    #[test]
+    fn inversion_detector_accepts_monotone_reads() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        let g = s.genesis();
+        h.begin_with_intent(10, OpKind::Write, 0, Some(5));
+        let (ev1, ts1) = write_done(&s, 5, &g);
+        h.complete(10, 10, &ev1);
+        h.begin_with_intent(10, OpKind::Write, 20, Some(6));
+        let (ev2, ts2) = write_done(&s, 6, &ts1);
+        h.complete(10, 30, &ev2);
+        h.begin(11, OpKind::Read, 40);
+        h.complete(11, 45, &ClientEvent::ReadDone { value: 6, ts: ts2.clone(), via_union: false });
+        h.begin(11, OpKind::Read, 50);
+        h.complete(11, 55, &ClientEvent::ReadDone { value: 6, ts: ts2, via_union: false });
+        assert!(h.new_old_inversions().is_empty());
+    }
+
+    #[test]
+    fn genesis_regression_counts_as_inversion() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        let g = s.genesis();
+        // An incomplete write of 5 (concurrent forever), r1 returns it,
+        // r2 later returns genesis 0: inversion.
+        h.begin_with_intent(10, OpKind::Write, 0, Some(5));
+        let ts1 = s.next_for(1, std::slice::from_ref(&g));
+        h.begin(11, OpKind::Read, 10);
+        h.complete(11, 20, &ClientEvent::ReadDone { value: 5, ts: ts1, via_union: false });
+        h.begin(11, OpKind::Read, 30);
+        h.complete(11, 40, &ClientEvent::ReadDone { value: 0, ts: g, via_union: false });
+        assert_eq!(h.new_old_inversions().len(), 1);
+    }
+
+    #[test]
+    fn pending_intent_makes_read_valid() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        let g = s.genesis();
+        // A crashed write of 9; a read returning 9 is valid (concurrent).
+        h.begin_with_intent(10, OpKind::Write, 0, Some(9));
+        h.begin(11, OpKind::Read, 10);
+        let ts = s.next_for(1, std::slice::from_ref(&g));
+        h.complete(11, 20, &ClientEvent::ReadDone { value: 9, ts, via_union: false });
+        assert!(h.check(&s).is_ok());
+    }
+
+    #[test]
+    fn incomplete_ops_ignored() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        h.begin(10, OpKind::Write, 0); // never completes (client crash)
+        h.begin(11, OpKind::Read, 10);
+        assert!(h.check(&s).is_ok());
+        assert_eq!(h.completed_writes(), 0);
+    }
+}

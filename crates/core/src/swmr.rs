@@ -1,0 +1,150 @@
+//! Typed single-writer multi-reader facade (the paper's §IV-B protocol).
+//!
+//! The paper presents the SWMR register first and derives MWMR by tagging
+//! timestamps with writer identities (§IV-D). The implementation runs the
+//! MWMR machinery throughout (an SWMR system is an MWMR system with one
+//! writer), but the *interface* discipline — exactly one client may write —
+//! is worth enforcing at the type level: [`SwmrHandle::writer`] hands out
+//! a unique [`WriterHandle`]; every other client is a [`ReaderHandle`]
+//! that simply has no write method.
+//!
+//! ```
+//! use sbft_core::cluster::RegisterCluster;
+//! use sbft_core::swmr::SwmrHandle;
+//!
+//! let cluster = RegisterCluster::bounded(1).clients(3).seed(9).build();
+//! let mut swmr = SwmrHandle::new(cluster);
+//! let w = swmr.writer().expect("first claim succeeds");
+//! assert!(swmr.writer().is_none(), "the writer handle is unique");
+//! let r = swmr.reader(1);
+//!
+//! swmr.write(&w, 5).unwrap();
+//! assert_eq!(swmr.read(&r).unwrap().value, 5);
+//! assert!(swmr.check_history().is_ok());
+//! ```
+
+use sbft_labels::LabelingSystem;
+use sbft_net::ProcessId;
+
+use crate::cluster::{OpError, ReadOk, RegisterCluster};
+use crate::messages::Value;
+use crate::spec::RegularityError;
+use crate::Ts;
+
+/// The unique write capability of an SWMR register.
+#[derive(Debug)]
+pub struct WriterHandle {
+    pid: ProcessId,
+}
+
+/// A read capability (freely duplicable across clients).
+#[derive(Clone, Copy, Debug)]
+pub struct ReaderHandle {
+    pid: ProcessId,
+}
+
+/// An SWMR register: a [`RegisterCluster`] with the single-writer
+/// discipline enforced by handle types.
+pub struct SwmrHandle<B: LabelingSystem> {
+    cluster: RegisterCluster<B>,
+    writer_claimed: bool,
+}
+
+impl<B: LabelingSystem> SwmrHandle<B> {
+    /// Wrap a cluster. Client 0 is reserved for the writer.
+    pub fn new(cluster: RegisterCluster<B>) -> Self {
+        Self { cluster, writer_claimed: false }
+    }
+
+    /// Claim the unique writer capability (client 0). Returns `None` if
+    /// already claimed — there is exactly one writer in SWMR.
+    pub fn writer(&mut self) -> Option<WriterHandle> {
+        if self.writer_claimed {
+            return None;
+        }
+        self.writer_claimed = true;
+        Some(WriterHandle { pid: self.cluster.client(0) })
+    }
+
+    /// A reader capability for client `i` (`i ≥ 1`; client 0 is the
+    /// writer's).
+    pub fn reader(&self, i: usize) -> ReaderHandle {
+        assert!(i >= 1, "client 0 is reserved for the writer");
+        ReaderHandle { pid: self.cluster.client(i) }
+    }
+
+    /// `write(v)` — requires the writer capability.
+    pub fn write(&mut self, w: &WriterHandle, value: Value) -> Result<Ts<B>, OpError> {
+        self.cluster.write(w.pid, value)
+    }
+
+    /// `read()` from any reader.
+    pub fn read(&mut self, r: &ReaderHandle) -> Result<ReadOk<B>, OpError> {
+        self.cluster.read(r.pid)
+    }
+
+    /// The writer may also read (it is a client like any other).
+    pub fn read_as_writer(&mut self, w: &WriterHandle) -> Result<ReadOk<B>, OpError> {
+        self.cluster.read(w.pid)
+    }
+
+    /// Check the recorded history (SWMR histories are MWMR histories with
+    /// one writer, so the same checker applies).
+    pub fn check_history(&self) -> Result<(), Vec<RegularityError>> {
+        self.cluster.check_history()
+    }
+
+    /// Access the underlying cluster (fault injection, metrics, steering).
+    pub fn cluster_mut(&mut self) -> &mut RegisterCluster<B> {
+        &mut self.cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_net::CorruptionSeverity;
+
+    fn swmr() -> SwmrHandle<sbft_labels::BoundedLabeling> {
+        SwmrHandle::new(RegisterCluster::bounded(1).clients(3).seed(17).build())
+    }
+
+    #[test]
+    fn writer_capability_is_unique() {
+        let mut s = swmr();
+        assert!(s.writer().is_some());
+        assert!(s.writer().is_none());
+    }
+
+    #[test]
+    fn single_writer_roundtrip_with_two_readers() {
+        let mut s = swmr();
+        let w = s.writer().unwrap();
+        let (r1, r2) = (s.reader(1), s.reader(2));
+        for v in 1..=4 {
+            s.write(&w, v).unwrap();
+            assert_eq!(s.read(&r1).unwrap().value, v);
+            assert_eq!(s.read(&r2).unwrap().value, v);
+        }
+        assert_eq!(s.read_as_writer(&w).unwrap().value, 4);
+        assert!(s.check_history().is_ok());
+    }
+
+    #[test]
+    #[should_panic]
+    fn reader_zero_is_rejected() {
+        let s = swmr();
+        let _ = s.reader(0);
+    }
+
+    #[test]
+    fn swmr_stabilizes_like_mwmr() {
+        let mut s = swmr();
+        let w = s.writer().unwrap();
+        let r = s.reader(1);
+        s.write(&w, 1).unwrap();
+        s.cluster_mut().corrupt_everything(CorruptionSeverity::Heavy);
+        s.write(&w, 2).unwrap();
+        assert_eq!(s.read(&r).unwrap().value, 2);
+    }
+}

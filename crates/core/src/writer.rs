@@ -1,0 +1,290 @@
+//! The two-phase write state machine (Figure 1, client side).
+//!
+//! Phase 1 (`Collect`): broadcast `GET_TS`, gather current timestamps from
+//! at least `n − f` servers, and compute the operation's timestamp with the
+//! labeling system's `next()` — which dominates every gathered label even
+//! if some were corrupted garbage.
+//!
+//! Phase 2 (`WaitAcks`): broadcast `WRITE(v, ts)` and wait until at least
+//! `n − f` servers answered **and** at least `2f + 1` of the answers are
+//! ACKs (Lemma 1 shows this wait is non-blocking for `n ≥ 5f + 1`).
+//!
+//! Stale `WRITE_ACK`s from earlier operations are filtered by timestamp
+//! equality; stale `TS_REPLY`s are absorbed per-server (a later reply from
+//! the same server overwrites), which is harmless within the `f`-slow-server
+//! allowance of the proofs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sbft_labels::{LabelingSystem, WriterId};
+use sbft_net::ProcessId;
+
+use crate::config::ClusterConfig;
+use crate::messages::Value;
+use crate::{Sys, Ts};
+
+/// Result of absorbing one phase-2 acknowledgement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteProgress {
+    /// Still waiting.
+    Pending,
+    /// The write completed.
+    Done,
+    /// All servers answered without enough ACKs (in-flight transient
+    /// garbage): the phase machine reset to phase 1 — re-broadcast
+    /// `GET_TS`.
+    Retry,
+}
+
+/// Progress of an in-flight write.
+#[derive(Debug)]
+pub enum WriteStage<B: LabelingSystem> {
+    /// Phase 1: gathering `TS_REPLY`s.
+    Collect {
+        /// Timestamps received so far, one per server (latest wins).
+        wts: BTreeMap<ProcessId, Ts<B>>,
+    },
+    /// Phase 2: waiting for `WRITE_ACK`s on the computed timestamp.
+    WaitAcks {
+        /// The timestamp this write installs.
+        ts: Ts<B>,
+        /// Servers that ACKed.
+        acks: BTreeSet<ProcessId>,
+        /// Servers that NACKed.
+        nacks: BTreeSet<ProcessId>,
+    },
+}
+
+/// An in-flight `write(value)` operation.
+#[derive(Debug)]
+pub struct WritePhase<B: LabelingSystem> {
+    /// The value being written.
+    pub value: Value,
+    /// Current stage.
+    pub stage: WriteStage<B>,
+}
+
+impl<B: LabelingSystem> WritePhase<B> {
+    /// Start phase 1 (caller broadcasts `GET_TS`).
+    pub fn new(value: Value) -> Self {
+        Self { value, stage: WriteStage::Collect { wts: BTreeMap::new() } }
+    }
+
+    /// Record a phase-1 `TS_REPLY`. When the quorum fills, computes the
+    /// write timestamp and switches to phase 2; returns `Some(ts)` exactly
+    /// once, at that transition (caller then broadcasts `WRITE`).
+    pub fn on_ts_reply(
+        &mut self,
+        sys: &Sys<B>,
+        cfg: &ClusterConfig,
+        writer: WriterId,
+        from: ProcessId,
+        ts: Ts<B>,
+    ) -> Option<Ts<B>> {
+        let WriteStage::Collect { wts } = &mut self.stage else {
+            return None; // phase-2 or stale reply
+        };
+        if !cfg.is_server(from) {
+            return None;
+        }
+        wts.insert(from, sys.sanitize(ts));
+        if wts.len() < cfg.quorum() {
+            return None;
+        }
+        let seen: Vec<Ts<B>> = wts.values().cloned().collect();
+        let new_ts = sys.next_for(writer, &seen);
+        self.stage = WriteStage::WaitAcks {
+            ts: new_ts.clone(),
+            acks: BTreeSet::new(),
+            nacks: BTreeSet::new(),
+        };
+        Some(new_ts)
+    }
+
+    /// Record a phase-2 `WRITE_ACK`.
+    ///
+    /// Completes (`Done`) on ≥ `n − f` answers with ≥ `2f + 1` ACKs.
+    ///
+    /// If a full `n − f` quorum has answered **without** reaching the ACK
+    /// threshold, the operation restarts from phase 1 (`Retry`). The
+    /// paper's Lemma 1 argues this cannot happen with a quiescent single
+    /// writer — but it *can* when (a) stale garbage writes from the
+    /// transient fault are still racing through the channels, or (b) a
+    /// concurrent writer's interleaved `WRITE`s changed server timestamps
+    /// between this writer's two phases (an MWMR case the paper's proof
+    /// does not treat; mechanization surfaced it). Waiting for more than
+    /// `n − f` answers instead would block forever on silent Byzantine
+    /// servers, so the quorum boundary is the only sound retry trigger.
+    /// Retrying recomputes `next()` over the *current* labels, so each
+    /// retry round absorbs everything it raced with; under quiescence the
+    /// retries terminate, matching Assumption 1's "the first write … does
+    /// not stop until completed".
+    pub fn on_write_ack(
+        &mut self,
+        cfg: &ClusterConfig,
+        from: ProcessId,
+        ack_ts: &Ts<B>,
+        ack: bool,
+    ) -> WriteProgress {
+        let WriteStage::WaitAcks { ts, acks, nacks } = &mut self.stage else {
+            return WriteProgress::Pending;
+        };
+        if !cfg.is_server(from) || ack_ts != ts {
+            return WriteProgress::Pending; // stale ack from a previous write
+        }
+        if ack {
+            acks.insert(from);
+            nacks.remove(&from);
+        } else if !acks.contains(&from) {
+            nacks.insert(from);
+        }
+        if acks.len() + nacks.len() >= cfg.quorum() {
+            if acks.len() >= cfg.witness_threshold() {
+                return WriteProgress::Done;
+            }
+            self.stage = WriteStage::Collect { wts: BTreeMap::new() };
+            return WriteProgress::Retry;
+        }
+        WriteProgress::Pending
+    }
+
+    /// The timestamp of this write, once phase 2 started.
+    pub fn ts(&self) -> Option<&Ts<B>> {
+        match &self.stage {
+            WriteStage::WaitAcks { ts, .. } => Some(ts),
+            WriteStage::Collect { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_labels::{BoundedLabeling, MwmrLabeling};
+
+    type B = BoundedLabeling;
+
+    fn setup() -> (Sys<B>, ClusterConfig) {
+        let cfg = ClusterConfig::stabilizing(1); // n=6, f=1, quorum=5, 2f+1=3
+        (MwmrLabeling::new(BoundedLabeling::new(cfg.label_k())), cfg)
+    }
+
+    #[test]
+    fn quorum_of_ts_replies_triggers_phase_two() {
+        let (sys, cfg) = setup();
+        let mut w = WritePhase::<B>::new(9);
+        let g = sys.genesis();
+        for s in 0..4 {
+            assert!(w.on_ts_reply(&sys, &cfg, 1, s, g.clone()).is_none());
+        }
+        let ts = w.on_ts_reply(&sys, &cfg, 1, 4, g.clone()).expect("quorum reached");
+        assert!(sys.precedes(&g, &ts));
+        assert_eq!(ts.writer, 1);
+        // Further TS replies are ignored.
+        assert!(w.on_ts_reply(&sys, &cfg, 1, 5, g).is_none());
+    }
+
+    #[test]
+    fn duplicate_server_replies_do_not_fill_quorum() {
+        let (sys, cfg) = setup();
+        let mut w = WritePhase::<B>::new(9);
+        let g = sys.genesis();
+        for _ in 0..10 {
+            assert!(w.on_ts_reply(&sys, &cfg, 1, 0, g.clone()).is_none());
+        }
+    }
+
+    #[test]
+    fn computed_ts_dominates_corrupted_inputs() {
+        let (sys, cfg) = setup();
+        let mut w = WritePhase::<B>::new(9);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let mut garbage = Vec::new();
+        let mut ts = None;
+        for s in 0..5 {
+            let raw = sys.arbitrary(&mut rng);
+            garbage.push(sys.sanitize(raw.clone()));
+            ts = w.on_ts_reply(&sys, &cfg, 1, s, raw);
+        }
+        let ts = ts.expect("quorum");
+        for g in &garbage {
+            assert!(sys.precedes(g, &ts), "{g:?} must precede {ts:?}");
+        }
+    }
+
+    #[test]
+    fn completes_on_quorum_with_enough_acks() {
+        let (sys, cfg) = setup();
+        let mut w = WritePhase::<B>::new(9);
+        let g = sys.genesis();
+        for s in 0..5 {
+            w.on_ts_reply(&sys, &cfg, 1, s, g.clone());
+        }
+        let ts = w.ts().unwrap().clone();
+        // 3 ACKs + 1 NACK = 4 answers < quorum(5): not done.
+        assert_eq!(w.on_write_ack(&cfg, 0, &ts, true), WriteProgress::Pending);
+        assert_eq!(w.on_write_ack(&cfg, 1, &ts, true), WriteProgress::Pending);
+        assert_eq!(w.on_write_ack(&cfg, 2, &ts, true), WriteProgress::Pending);
+        assert_eq!(w.on_write_ack(&cfg, 3, &ts, false), WriteProgress::Pending);
+        // Fifth answer completes (acks=4 >= 3, total=5 >= 5).
+        assert_eq!(w.on_write_ack(&cfg, 4, &ts, false), WriteProgress::Done);
+    }
+
+    #[test]
+    fn nack_flood_does_not_complete_without_ack_threshold() {
+        let (sys, cfg) = setup();
+        let mut w = WritePhase::<B>::new(9);
+        let g = sys.genesis();
+        for s in 0..5 {
+            w.on_ts_reply(&sys, &cfg, 1, s, g.clone());
+        }
+        let ts = w.ts().unwrap().clone();
+        for s in 0..4 {
+            assert_eq!(w.on_write_ack(&cfg, s, &ts, false), WriteProgress::Pending);
+        }
+        // Quorum (5 answers) reached with only 1 < 3 ACKs: the writer
+        // restarts phase 1 rather than blocking on the 6th (possibly
+        // Byzantine-silent) server.
+        assert_eq!(w.on_write_ack(&cfg, 4, &ts, true), WriteProgress::Retry);
+        assert!(w.ts().is_none(), "back in phase 1 after retry");
+    }
+
+    #[test]
+    fn stale_acks_filtered_by_timestamp() {
+        let (sys, cfg) = setup();
+        let mut w = WritePhase::<B>::new(9);
+        let g = sys.genesis();
+        for s in 0..5 {
+            w.on_ts_reply(&sys, &cfg, 1, s, g.clone());
+        }
+        let stale = sys.genesis();
+        for s in 0..6 {
+            assert_eq!(
+                w.on_write_ack(&cfg, s, &stale, true),
+                WriteProgress::Pending,
+                "stale ts must not count"
+            );
+        }
+    }
+
+    #[test]
+    fn acks_ignored_during_phase_one() {
+        let (sys, cfg) = setup();
+        let mut w = WritePhase::<B>::new(9);
+        assert_eq!(w.on_write_ack(&cfg, 0, &sys.genesis(), true), WriteProgress::Pending);
+        assert!(w.ts().is_none());
+    }
+
+    #[test]
+    fn non_server_replies_ignored() {
+        let (sys, cfg) = setup();
+        let mut w = WritePhase::<B>::new(9);
+        let g = sys.genesis();
+        for s in 0..4 {
+            w.on_ts_reply(&sys, &cfg, 1, s, g.clone());
+        }
+        // A client pid (>= n) cannot fill the quorum.
+        assert!(w.on_ts_reply(&sys, &cfg, 1, cfg.client_pid(0), g.clone()).is_none());
+        assert!(w.on_ts_reply(&sys, &cfg, 1, 4, g).is_some());
+    }
+}

@@ -1,0 +1,115 @@
+//! The bounded, lossy, non-FIFO channel model.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A channel holding at most `capacity` messages, with random-order
+/// delivery and displacement-on-overflow loss.
+#[derive(Clone, Debug)]
+pub struct LossyChannel<M> {
+    capacity: usize,
+    residents: Vec<M>,
+}
+
+impl<M> LossyChannel<M> {
+    /// An empty channel of the given capacity (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Self { capacity, residents: Vec::with_capacity(capacity) }
+    }
+
+    /// The capacity bound `c`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Messages currently in transit.
+    pub fn len(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Whether the channel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.residents.is_empty()
+    }
+
+    /// Send: if full, a random resident is displaced (lost) to make room —
+    /// the new message always enters, which models a *fair* lossy channel
+    /// (persistent retransmission cannot be starved forever).
+    pub fn send(&mut self, msg: M, rng: &mut StdRng) {
+        if self.residents.len() == self.capacity {
+            let victim = rng.gen_range(0..self.residents.len());
+            self.residents.swap_remove(victim);
+        }
+        self.residents.push(msg);
+    }
+
+    /// Deliver a uniformly random resident (non-FIFO), if any.
+    pub fn deliver(&mut self, rng: &mut StdRng) -> Option<M> {
+        if self.residents.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..self.residents.len());
+        Some(self.residents.swap_remove(idx))
+    }
+
+    /// Transient fault: replace the content with arbitrary messages.
+    pub fn corrupt(&mut self, msgs: impl IntoIterator<Item = M>) {
+        self.residents.clear();
+        for m in msgs {
+            if self.residents.len() == self.capacity {
+                break;
+            }
+            self.residents.push(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn bounded_capacity_displaces() {
+        let mut ch = LossyChannel::new(3);
+        let mut r = rng();
+        for i in 0..10 {
+            ch.send(i, &mut r);
+        }
+        assert_eq!(ch.len(), 3);
+    }
+
+    #[test]
+    fn deliver_drains() {
+        let mut ch = LossyChannel::new(4);
+        let mut r = rng();
+        for i in 0..4 {
+            ch.send(i, &mut r);
+        }
+        let mut got = Vec::new();
+        while let Some(m) = ch.deliver(&mut r) {
+            got.push(m);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn corrupt_respects_capacity() {
+        let mut ch = LossyChannel::new(2);
+        ch.corrupt(0..100);
+        assert_eq!(ch.len(), 2);
+    }
+
+    #[test]
+    fn empty_channel_delivers_none() {
+        let mut ch: LossyChannel<u32> = LossyChannel::new(2);
+        assert_eq!(ch.deliver(&mut rng()), None);
+    }
+}

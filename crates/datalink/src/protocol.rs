@@ -1,0 +1,249 @@
+//! Sender/receiver automata of the simplified stabilizing data-link.
+
+use std::collections::VecDeque;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A data-link label. Labels cycle through the domain `0..2c+2`.
+pub type Label = u32;
+
+/// A data frame `⟨label, payload⟩`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame's label.
+    pub label: Label,
+    /// The payload carried.
+    pub payload: u64,
+}
+
+/// The sending endpoint.
+#[derive(Clone, Debug)]
+pub struct DlSender {
+    c: usize,
+    /// Label domain size: `2c + 2`.
+    domain: Label,
+    /// Outgoing payload queue (front = currently transmitting).
+    pub queue: VecDeque<u64>,
+    /// Label of the current exchange.
+    pub label: Label,
+    /// Acks with the current label collected so far.
+    pub acks: usize,
+    /// Completed transmissions (diagnostics).
+    pub completed: u64,
+}
+
+impl DlSender {
+    /// Sender for channel capacity `c`.
+    pub fn new(c: usize) -> Self {
+        Self {
+            c,
+            domain: (2 * c + 2) as Label,
+            queue: VecDeque::new(),
+            label: 0,
+            acks: 0,
+            completed: 0,
+        }
+    }
+
+    /// Enqueue a payload for reliable FIFO transmission.
+    pub fn push(&mut self, payload: u64) {
+        self.queue.push_back(payload);
+    }
+
+    /// The frame to (re)transmit now, if any payload is pending.
+    pub fn frame(&self) -> Option<Frame> {
+        self.queue.front().map(|&payload| Frame { label: self.label, payload })
+    }
+
+    /// An ack arrived. Returns `true` when the current payload completed
+    /// (`c + 1` acks with the current label — at most `c` can be stale).
+    pub fn on_ack(&mut self, label: Label) -> bool {
+        if self.queue.is_empty() || label != self.label {
+            return false;
+        }
+        self.acks += 1;
+        if self.acks > self.c {
+            self.queue.pop_front();
+            self.label = (self.label + 1) % self.domain;
+            self.acks = 0;
+            self.completed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Transient fault: arbitrary label/ack-count (queue is application
+    /// state and survives; the protocol must still deliver it).
+    pub fn corrupt(&mut self, rng: &mut StdRng) {
+        self.label = rng.gen::<Label>() % self.domain;
+        self.acks = rng.gen_range(0..=self.c);
+    }
+}
+
+/// The receiving endpoint.
+///
+/// Delivery rule: a label is delivered only after **`c + 1` receptions**
+/// since it was last delivered — at most `c` copies of any frame can be
+/// stale channel residents, so the `(c+1)`-th reception proves the sender
+/// is actively transmitting it. Copies of the *last delivered* label are
+/// suppressed outright (they are the sender's trailing retransmissions).
+/// Both protections use bounded memory: a counter per label of the finite
+/// domain plus one label. A corrupted counter can cause at most one
+/// spurious delivery per label; a corrupted `last` can eat at most one
+/// payload — the bounded "dirty prefix" pseudo-stabilization permits.
+#[derive(Clone, Debug)]
+pub struct DlReceiver {
+    /// Reception counters per label (domain-bounded).
+    pub count: Vec<usize>,
+    /// The last label delivered (its trailing copies are suppressed).
+    pub last: Option<Label>,
+    c: usize,
+    domain: Label,
+}
+
+impl DlReceiver {
+    /// Receiver for channel capacity `c`.
+    pub fn new(c: usize) -> Self {
+        let domain = (2 * c + 2) as Label;
+        Self { count: vec![0; domain as usize], last: None, c, domain }
+    }
+
+    /// A data frame arrived: always returns the ack label; additionally
+    /// returns the payload when the frame proved fresh and should be
+    /// delivered to the application.
+    pub fn on_frame(&mut self, frame: Frame) -> (Label, Option<u64>) {
+        let label = frame.label % self.domain;
+        if self.last == Some(label) {
+            return (label, None);
+        }
+        let slot = &mut self.count[label as usize];
+        *slot += 1;
+        if *slot > self.c {
+            *slot = 0;
+            self.last = Some(label);
+            (label, Some(frame.payload))
+        } else {
+            (label, None)
+        }
+    }
+
+    /// Transient fault: arbitrary counters and last-label memory.
+    pub fn corrupt(&mut self, rng: &mut StdRng) {
+        for slot in &mut self.count {
+            *slot = rng.gen_range(0..=self.c);
+        }
+        self.last = if rng.gen::<bool>() {
+            Some(rng.gen::<Label>() % self.domain)
+        } else {
+            None
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sender_requires_c_plus_one_acks() {
+        let mut s = DlSender::new(2);
+        s.push(42);
+        assert_eq!(s.frame(), Some(Frame { label: 0, payload: 42 }));
+        assert!(!s.on_ack(0));
+        assert!(!s.on_ack(0));
+        assert!(s.on_ack(0), "third ack (c+1 = 3) completes");
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.label, 1);
+    }
+
+    #[test]
+    fn stale_acks_with_wrong_label_ignored() {
+        let mut s = DlSender::new(2);
+        s.push(1);
+        for _ in 0..10 {
+            assert!(!s.on_ack(5));
+        }
+        assert_eq!(s.acks, 0);
+    }
+
+    #[test]
+    fn acks_without_pending_payload_ignored() {
+        let mut s = DlSender::new(1);
+        assert!(!s.on_ack(0));
+    }
+
+    #[test]
+    fn labels_cycle_through_domain() {
+        let mut s = DlSender::new(1); // domain = 4
+        for i in 0..8 {
+            s.push(i);
+        }
+        let mut labels = Vec::new();
+        for _ in 0..8 {
+            labels.push(s.frame().unwrap().label);
+            for _ in 0..2 {
+                s.on_ack(s.label);
+            }
+        }
+        assert_eq!(labels, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn receiver_needs_c_plus_one_receptions() {
+        let mut r = DlReceiver::new(1); // c = 1: deliver on 2nd reception
+        let (ack, d) = r.on_frame(Frame { label: 0, payload: 7 });
+        assert_eq!(ack, 0);
+        assert_eq!(d, None, "a single copy could be a stale resident");
+        let (_, d) = r.on_frame(Frame { label: 0, payload: 7 });
+        assert_eq!(d, Some(7), "c+1 copies prove freshness");
+        let (_, d) = r.on_frame(Frame { label: 0, payload: 7 });
+        assert_eq!(d, None, "trailing retransmissions suppressed");
+    }
+
+    #[test]
+    fn receiver_delivers_labels_in_sender_order() {
+        let mut r = DlReceiver::new(1);
+        let mut delivered = Vec::new();
+        for l in [0u32, 0, 1, 1, 2, 2] {
+            if let (_, Some(p)) = r.on_frame(Frame { label: l, payload: l as u64 }) {
+                delivered.push(p);
+            }
+        }
+        assert_eq!(delivered, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stale_copies_cannot_force_redelivery() {
+        let mut r = DlReceiver::new(2); // c = 2: need 3 receptions
+        for _ in 0..3 {
+            r.on_frame(Frame { label: 0, payload: 9 });
+        }
+        // Move on to label 1 (delivered), then at most c = 2 stale copies
+        // of label 0 arrive late: never enough to redeliver.
+        for _ in 0..3 {
+            r.on_frame(Frame { label: 1, payload: 10 });
+        }
+        for _ in 0..2 {
+            let (_, d) = r.on_frame(Frame { label: 0, payload: 9 });
+            assert_eq!(d, None);
+        }
+    }
+
+    #[test]
+    fn corrupt_stays_in_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = DlSender::new(2);
+        s.push(1);
+        s.corrupt(&mut rng);
+        assert!(s.label < 6);
+        assert!(s.acks <= 2);
+        let mut r = DlReceiver::new(2);
+        r.corrupt(&mut rng);
+        assert!(r.count.iter().all(|&c| c <= 2));
+        if let Some(l) = r.last {
+            assert!(l < 6);
+        }
+    }
+}

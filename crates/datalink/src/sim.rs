@@ -1,0 +1,197 @@
+//! A self-contained two-endpoint simulation for the data-link protocol
+//! (the lossy/non-FIFO channel model does not fit the reliable-FIFO
+//! simulator of `sbft-net`, so the data-link gets its own tiny loop).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::lossy::LossyChannel;
+use crate::protocol::{DlReceiver, DlSender, Frame, Label};
+
+/// Outcome of a convergence run (experiment E10).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// Channel capacity `c`.
+    pub capacity: usize,
+    /// Payloads sent.
+    pub sent: usize,
+    /// Payloads delivered (including spurious ones).
+    pub delivered: usize,
+    /// Deliveries that were *not* part of the clean FIFO suffix.
+    pub spurious: usize,
+    /// Steps executed until the last payload completed.
+    pub steps: u64,
+    /// Sent payloads that were never delivered (bounded dirty prefix).
+    pub lost: usize,
+    /// Whether the run drained and the delivered stream ends with a clean
+    /// FIFO suffix of the sent stream (pseudo-stabilization achieved).
+    pub fifo_suffix_ok: bool,
+}
+
+/// Sender + receiver joined by two lossy non-FIFO channels.
+pub struct DatalinkSim {
+    /// The sender endpoint.
+    pub sender: DlSender,
+    /// The receiver endpoint.
+    pub receiver: DlReceiver,
+    data_ch: LossyChannel<Frame>,
+    ack_ch: LossyChannel<Label>,
+    rng: StdRng,
+    /// Payloads delivered to the receiving application, in order.
+    pub delivered: Vec<u64>,
+    steps: u64,
+}
+
+impl DatalinkSim {
+    /// Fresh endpoints over empty channels of capacity `c`.
+    pub fn new(c: usize, seed: u64) -> Self {
+        Self {
+            sender: DlSender::new(c),
+            receiver: DlReceiver::new(c),
+            data_ch: LossyChannel::new(c),
+            ack_ch: LossyChannel::new(c),
+            rng: StdRng::seed_from_u64(seed),
+            delivered: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Transient fault: corrupt both endpoints and fill both channels with
+    /// arbitrary residents.
+    pub fn corrupt_everything(&mut self) {
+        self.sender.corrupt(&mut self.rng);
+        self.receiver.corrupt(&mut self.rng);
+        let c = self.data_ch.capacity();
+        let garbage_frames: Vec<Frame> = (0..c)
+            .map(|_| Frame {
+                label: self.rng.gen::<Label>() % (2 * c as u32 + 2),
+                payload: self.rng.gen(),
+            })
+            .collect();
+        self.data_ch.corrupt(garbage_frames);
+        let garbage_acks: Vec<Label> =
+            (0..c).map(|_| self.rng.gen::<Label>() % (2 * c as u32 + 2)).collect();
+        self.ack_ch.corrupt(garbage_acks);
+    }
+
+    /// One scheduler step: the sender retransmits, then a random channel
+    /// delivers one message (if non-empty).
+    pub fn step(&mut self) {
+        self.steps += 1;
+        // Sender tick: retransmit the current frame.
+        if let Some(frame) = self.sender.frame() {
+            self.data_ch.send(frame, &mut self.rng);
+        }
+        // Random delivery from one of the two channels.
+        if self.rng.gen::<bool>() {
+            if let Some(frame) = self.data_ch.deliver(&mut self.rng) {
+                let (ack, payload) = self.receiver.on_frame(frame);
+                self.ack_ch.send(ack, &mut self.rng);
+                if let Some(p) = payload {
+                    self.delivered.push(p);
+                }
+            }
+        } else if let Some(ack) = self.ack_ch.deliver(&mut self.rng) {
+            self.sender.on_ack(ack);
+        }
+    }
+
+    /// Run until the sender's queue drains (or `max_steps`).
+    pub fn run(&mut self, max_steps: u64) -> bool {
+        while self.steps < max_steps {
+            if self.sender.queue.is_empty() {
+                return true;
+            }
+            self.step();
+        }
+        self.sender.queue.is_empty()
+    }
+
+    /// Full E10 scenario: corrupt everything, transmit `payloads`, report.
+    pub fn converge_report(c: usize, seed: u64, payloads: &[u64], max_steps: u64) -> ConvergenceReport {
+        let mut sim = DatalinkSim::new(c, seed);
+        sim.corrupt_everything();
+        for &p in payloads {
+            sim.sender.push(p);
+        }
+        let finished = sim.run(max_steps);
+        // The clean FIFO suffix: the longest suffix of `delivered` that is
+        // a suffix of `payloads`.
+        let mut suffix = 0;
+        while suffix < sim.delivered.len()
+            && suffix < payloads.len()
+            && sim.delivered[sim.delivered.len() - 1 - suffix]
+                == payloads[payloads.len() - 1 - suffix]
+        {
+            suffix += 1;
+        }
+        ConvergenceReport {
+            capacity: c,
+            sent: payloads.len(),
+            delivered: sim.delivered.len(),
+            spurious: sim.delivered.len() - suffix,
+            lost: payloads.len() - suffix.min(payloads.len()),
+            steps: sim.steps,
+            // The dirty prefix (losses + spurious deliveries) must be
+            // bounded by one label cycle; everything after is exact FIFO.
+            fifo_suffix_ok: finished
+                && payloads.len() - suffix.min(payloads.len()) <= 2 * c + 2
+                && sim.delivered.len() - suffix <= 2 * c + 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_start_delivers_exact_fifo() {
+        let mut sim = DatalinkSim::new(2, 1);
+        let payloads: Vec<u64> = (100..120).collect();
+        for &p in &payloads {
+            sim.sender.push(p);
+        }
+        assert!(sim.run(1_000_000), "must drain");
+        assert_eq!(sim.delivered, payloads);
+    }
+
+    #[test]
+    fn converges_from_arbitrary_configuration() {
+        for seed in 0..10 {
+            let payloads: Vec<u64> = (1000..1050).collect();
+            let rep = DatalinkSim::converge_report(3, seed, &payloads, 5_000_000);
+            assert!(rep.fifo_suffix_ok, "seed {seed}: {rep:?}");
+            // Dirty prefix (spurious + lost) bounded by one label cycle.
+            assert!(rep.spurious <= 2 * 3 + 2, "seed {seed}: {rep:?}");
+            assert!(rep.lost <= 2 * 3 + 2, "seed {seed}: {rep:?}");
+        }
+    }
+
+    #[test]
+    fn larger_capacity_still_converges() {
+        let payloads: Vec<u64> = (0..30).collect();
+        let rep = DatalinkSim::converge_report(8, 7, &payloads, 10_000_000);
+        assert!(rep.fifo_suffix_ok, "{rep:?}");
+    }
+
+    #[test]
+    fn no_payloads_is_trivially_done() {
+        let mut sim = DatalinkSim::new(2, 3);
+        assert!(sim.run(10));
+        assert!(sim.delivered.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let payloads: Vec<u64> = (0..20).collect();
+        let a = DatalinkSim::converge_report(2, 9, &payloads, 1_000_000);
+        let b = DatalinkSim::converge_report(2, 9, &payloads, 1_000_000);
+        assert_eq!(a, b);
+    }
+}

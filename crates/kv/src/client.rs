@@ -1,0 +1,167 @@
+//! The store client: one register-client state per key.
+//!
+//! The register protocol's client bookkeeping — the bounded read-label
+//! pool, the `recent_labels` matrix, the `recent_vals` caches — is all
+//! per-register state, so it lives per key. Operations on *different*
+//! keys could in principle run concurrently; this client keeps the
+//! one-op-at-a-time discipline across the whole store for simplicity (the
+//! driver serializes per client anyway).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use sbft_core::client::Client;
+use sbft_core::config::ClusterConfig;
+use sbft_core::reader::ReaderOptions;
+use sbft_core::{Sys, Ts};
+use sbft_labels::{LabelingSystem, WriterId};
+use sbft_net::{Automaton, Ctx, ProcessId, ENV};
+
+use crate::messages::{Key, KvEvent, KvMsg};
+
+/// A key-value client multiplexing per-key register clients.
+pub struct KvClient<B: LabelingSystem> {
+    sys: Sys<B>,
+    cfg: ClusterConfig,
+    opts: ReaderOptions,
+    writer_id: WriterId,
+    /// Per-key register-client state.
+    pub per_key: BTreeMap<Key, Client<B>>,
+    /// Key of the operation in flight, if any.
+    pub active: Option<Key>,
+}
+
+impl<B: LabelingSystem> KvClient<B> {
+    /// A clean client.
+    pub fn new(sys: Sys<B>, cfg: ClusterConfig, writer_id: WriterId, opts: ReaderOptions) -> Self {
+        Self { sys, cfg, opts, writer_id, per_key: BTreeMap::new(), active: None }
+    }
+
+    fn client_for(&mut self, key: Key) -> &mut Client<B> {
+        let (sys, cfg, wid, opts) = (self.sys.clone(), self.cfg, self.writer_id, self.opts);
+        self.per_key
+            .entry(key)
+            .or_insert_with(|| Client::new(sys, cfg, wid, opts))
+    }
+}
+
+impl<B: LabelingSystem> Automaton<KvMsg<Ts<B>>, KvEvent<Ts<B>>> for KvClient<B> {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: KvMsg<Ts<B>>,
+        ctx: &mut Ctx<'_, KvMsg<Ts<B>>, KvEvent<Ts<B>>>,
+    ) {
+        let key = msg.key;
+        if from == ENV {
+            if self.active.is_some() {
+                return; // one store operation at a time
+            }
+            self.active = Some(key);
+        } else if self.active != Some(key) {
+            // A late reply for a finished (or foreign) key's operation:
+            // deliver it to that key's client anyway so its label
+            // bookkeeping stays accurate — but no new op can start there.
+            if let Some(client) = self.per_key.get_mut(&key) {
+                let (me, now) = (ctx.me, ctx.now);
+                let mut inner = Ctx::detached(me, now, ctx.rng());
+                client.on_message(from, msg.inner, &mut inner);
+                let (sends, _outs, _) = inner.drain();
+                drop(inner);
+                for (to, m) in sends {
+                    ctx.send(to, KvMsg::new(key, m));
+                }
+            }
+            return;
+        }
+
+        let (me, now) = (ctx.me, ctx.now);
+        let client = self.client_for(key);
+        let (sends, outputs) = {
+            let mut inner = Ctx::detached(me, now, ctx.rng());
+            client.on_message(from, msg.inner, &mut inner);
+            let (s, o, _) = inner.drain();
+            (s, o)
+        };
+        for (to, m) in sends {
+            ctx.send(to, KvMsg::new(key, m));
+        }
+        for o in outputs {
+            if o.is_read_end() || o.is_write_end() {
+                self.active = None;
+            }
+            ctx.output(KvEvent { key, inner: o });
+        }
+    }
+
+    fn corrupt(&mut self, rng: &mut StdRng) {
+        for client in self.per_key.values_mut() {
+            client.corrupt(rng);
+        }
+        self.active = None;
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sbft_core::messages::Msg;
+    use sbft_labels::{BoundedLabeling, MwmrLabeling};
+
+    type B = BoundedLabeling;
+
+    fn client() -> KvClient<B> {
+        let cfg = ClusterConfig::stabilizing(1);
+        KvClient::new(
+            MwmrLabeling::new(BoundedLabeling::new(cfg.label_k())),
+            cfg,
+            7,
+            ReaderOptions::default(),
+        )
+    }
+
+    fn deliver(
+        c: &mut KvClient<B>,
+        from: ProcessId,
+        msg: KvMsg<Ts<B>>,
+    ) -> Vec<(ProcessId, KvMsg<Ts<B>>)> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Ctx::detached(6, 0, &mut rng);
+        c.on_message(from, msg, &mut ctx);
+        ctx.drain().0
+    }
+
+    #[test]
+    fn put_broadcasts_get_ts_under_the_key() {
+        let mut c = client();
+        let out = deliver(&mut c, ENV, KvMsg::new(5, Msg::InvokeWrite { value: 1 }));
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|(_, m)| m.key == 5 && matches!(m.inner, Msg::GetTs)));
+        assert_eq!(c.active, Some(5));
+    }
+
+    #[test]
+    fn second_op_while_busy_is_dropped() {
+        let mut c = client();
+        deliver(&mut c, ENV, KvMsg::new(5, Msg::InvokeWrite { value: 1 }));
+        let out = deliver(&mut c, ENV, KvMsg::new(6, Msg::InvokeRead));
+        assert!(out.is_empty());
+        assert_eq!(c.active, Some(5));
+    }
+
+    #[test]
+    fn replies_for_foreign_keys_do_not_disturb_the_active_op() {
+        let mut c = client();
+        deliver(&mut c, ENV, KvMsg::new(5, Msg::InvokeWrite { value: 1 }));
+        // A reply under key 9 (never touched): ignored entirely.
+        let genesis = c.sys.genesis();
+        let out = deliver(&mut c, 0, KvMsg::new(9, Msg::TsReply { ts: genesis }));
+        assert!(out.is_empty());
+        assert_eq!(c.active, Some(5));
+    }
+}

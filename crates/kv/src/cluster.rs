@@ -1,0 +1,298 @@
+//! The store driver: blocking `put`/`get` with per-key history recording.
+//!
+//! ```
+//! use sbft_kv::KvCluster;
+//!
+//! let mut store = KvCluster::bounded(1).seed(3).build();
+//! let c = store.client(0);
+//! store.put(c, 10, 111).unwrap();
+//! store.put(c, 20, 222).unwrap();
+//! assert_eq!(store.get(c, 10).unwrap(), 111);
+//! assert_eq!(store.get(c, 20).unwrap(), 222);
+//! assert!(store.check_all_histories().is_ok());
+//! ```
+
+use std::collections::BTreeMap;
+
+use sbft_core::adversary::random_message;
+use sbft_core::config::ClusterConfig;
+use sbft_core::messages::{ClientEvent, Value};
+use sbft_core::reader::ReaderOptions;
+use sbft_core::spec::{HistoryRecorder, OpKind, RegularityError};
+use sbft_core::{Sys, Ts};
+use sbft_labels::{BoundedLabeling, LabelingSystem, MwmrLabeling};
+use sbft_net::corruption::FaultPlan;
+use sbft_net::{CorruptionSeverity, DelayModel, ProcessId, SimConfig, Simulation};
+
+use crate::client::KvClient;
+use crate::messages::{Key, KvEvent, KvMsg};
+use crate::server::KvServer;
+
+/// Why a store operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvError {
+    /// Read aborted (register in a transitory phase).
+    Aborted,
+    /// Simulation drained / budget exhausted before completion.
+    Stuck,
+}
+
+/// Builder for a [`KvCluster`].
+pub struct KvClusterBuilder<B: LabelingSystem> {
+    cfg: ClusterConfig,
+    base: B,
+    n_clients: usize,
+    seed: u64,
+    delay: DelayModel,
+}
+
+impl<B: LabelingSystem> KvClusterBuilder<B> {
+    /// Start from a config and base labeling system.
+    pub fn new(cfg: ClusterConfig, base: B) -> Self {
+        Self { cfg, base, n_clients: 2, seed: 0, delay: DelayModel::uniform(1, 10) }
+    }
+
+    /// Number of clients (default 2).
+    pub fn clients(mut self, n: usize) -> Self {
+        self.n_clients = n.max(1);
+        self
+    }
+
+    /// Simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Delay model.
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Assemble the store.
+    pub fn build(self) -> KvCluster<B> {
+        let sys: Sys<B> = MwmrLabeling::new(self.base.clone());
+        let mut sim: Simulation<KvMsg<Ts<B>>, KvEvent<Ts<B>>> = Simulation::new(SimConfig {
+            seed: self.seed,
+            delay: self.delay,
+            trace_capacity: 0,
+        });
+        for _ in 0..self.cfg.n {
+            sim.add_process(Box::new(KvServer::new(sys.clone(), self.cfg)));
+        }
+        for c in 0..self.n_clients {
+            let pid = self.cfg.client_pid(c);
+            sim.add_process(Box::new(KvClient::new(
+                sys.clone(),
+                self.cfg,
+                pid as u32,
+                ReaderOptions::default(),
+            )));
+        }
+        KvCluster {
+            sim,
+            cfg: self.cfg,
+            sys,
+            n_clients: self.n_clients,
+            recorders: BTreeMap::new(),
+            op_budget: 400_000,
+        }
+    }
+}
+
+/// A simulated key-value store.
+pub struct KvCluster<B: LabelingSystem> {
+    /// Underlying simulation.
+    pub sim: Simulation<KvMsg<Ts<B>>, KvEvent<Ts<B>>>,
+    /// Cluster arithmetic.
+    pub cfg: ClusterConfig,
+    /// The labeling system.
+    pub sys: Sys<B>,
+    n_clients: usize,
+    /// One history per key.
+    pub recorders: BTreeMap<Key, HistoryRecorder<B>>,
+    /// Max events per blocking op.
+    pub op_budget: u64,
+}
+
+impl KvCluster<BoundedLabeling> {
+    /// The paper's configuration: bounded labels, `n = 5f + 1`.
+    pub fn bounded(f: usize) -> KvClusterBuilder<BoundedLabeling> {
+        let cfg = ClusterConfig::stabilizing(f);
+        KvClusterBuilder::new(cfg, BoundedLabeling::new(cfg.label_k()))
+    }
+}
+
+impl<B: LabelingSystem> KvCluster<B> {
+    /// Pid of client `i`.
+    pub fn client(&self, i: usize) -> ProcessId {
+        assert!(i < self.n_clients);
+        self.cfg.client_pid(i)
+    }
+
+    fn recorder(&mut self, key: Key) -> &mut HistoryRecorder<B> {
+        self.recorders.entry(key).or_default()
+    }
+
+    fn await_client(&mut self, client: ProcessId) -> Result<KvEvent<Ts<B>>, KvError> {
+        let mut budget = self.op_budget;
+        while budget > 0 {
+            let Some(ev) = self.sim.step() else { return Err(KvError::Stuck) };
+            budget -= 1;
+            let (time, pid) = (ev.time, ev.pid);
+            for out in ev.outputs {
+                self.recorder(out.key).complete(pid, time, &out.inner);
+                if pid == client {
+                    return Ok(out);
+                }
+            }
+        }
+        Err(KvError::Stuck)
+    }
+
+    /// Blocking `put(key, value)`.
+    pub fn put(&mut self, client: ProcessId, key: Key, value: Value) -> Result<Ts<B>, KvError> {
+        let now = self.sim.now() + 1;
+        self.recorder(key)
+            .begin_with_intent(client, OpKind::Write, now, Some(value));
+        self.sim
+            .inject(client, KvMsg::new(key, sbft_core::messages::Msg::InvokeWrite { value }));
+        match self.await_client(client)? {
+            KvEvent { inner: ClientEvent::WriteDone { ts, .. }, .. } => Ok(ts),
+            _ => Err(KvError::Stuck),
+        }
+    }
+
+    /// Blocking `get(key)`.
+    pub fn get(&mut self, client: ProcessId, key: Key) -> Result<Value, KvError> {
+        let now = self.sim.now() + 1;
+        self.recorder(key).begin(client, OpKind::Read, now);
+        self.sim
+            .inject(client, KvMsg::new(key, sbft_core::messages::Msg::InvokeRead));
+        match self.await_client(client)? {
+            KvEvent { inner: ClientEvent::ReadDone { value, .. }, .. } => Ok(value),
+            KvEvent { inner: ClientEvent::ReadAborted, .. } => Err(KvError::Aborted),
+            _ => Err(KvError::Stuck),
+        }
+    }
+
+    /// Transient fault on the whole store (all nodes, clients, channels).
+    pub fn corrupt_everything(&mut self, severity: CorruptionSeverity) {
+        let total = self.cfg.n + self.n_clients;
+        let plan = FaultPlan::total(total, severity);
+        let sys = self.sys.clone();
+        let cfg = self.cfg;
+        self.sim.apply_fault(&plan, move |rng| {
+            let key = rand::Rng::gen_range(rng, 0..4u64);
+            KvMsg::new(key, random_message::<B>(&sys, &cfg, rng))
+        });
+    }
+
+    /// Check one key's history against MWMR regularity.
+    pub fn check_history(&self, key: Key) -> Result<(), Vec<RegularityError>> {
+        match self.recorders.get(&key) {
+            Some(rec) => rec.check(&self.sys),
+            None => Ok(()),
+        }
+    }
+
+    /// Check every key's history; `Err` maps keys to their violations.
+    pub fn check_all_histories(&self) -> Result<(), BTreeMap<Key, Vec<RegularityError>>> {
+        let mut bad = BTreeMap::new();
+        for (&key, rec) in &self.recorders {
+            if let Err(errs) = rec.check(&self.sys) {
+                bad.insert(key, errs);
+            }
+        }
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(bad)
+        }
+    }
+
+    /// Check every key's suffix from `t` (post-stabilization verdict).
+    pub fn check_all_from(&self, t: u64) -> Result<(), BTreeMap<Key, Vec<RegularityError>>> {
+        let mut bad = BTreeMap::new();
+        for (&key, rec) in &self.recorders {
+            if let Err(errs) = rec.check_from(&self.sys, t) {
+                bad.insert(key, errs);
+            }
+        }
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(bad)
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_keys_round_trip() {
+        let mut store = KvCluster::bounded(1).seed(1).build();
+        let c = store.client(0);
+        for key in 0..5u64 {
+            store.put(c, key, 100 + key).unwrap();
+        }
+        for key in 0..5u64 {
+            assert_eq!(store.get(c, key).unwrap(), 100 + key);
+        }
+        assert!(store.check_all_histories().is_ok());
+    }
+
+    #[test]
+    fn two_clients_share_the_store() {
+        let mut store = KvCluster::bounded(1).clients(2).seed(2).build();
+        let (a, b) = (store.client(0), store.client(1));
+        store.put(a, 1, 11).unwrap();
+        store.put(b, 2, 22).unwrap();
+        assert_eq!(store.get(b, 1).unwrap(), 11);
+        assert_eq!(store.get(a, 2).unwrap(), 22);
+        assert!(store.check_all_histories().is_ok());
+    }
+
+    #[test]
+    fn overwrites_read_latest_per_key() {
+        let mut store = KvCluster::bounded(1).seed(3).build();
+        let c = store.client(0);
+        for v in 1..=5 {
+            store.put(c, 9, v).unwrap();
+        }
+        assert_eq!(store.get(c, 9).unwrap(), 5);
+        assert!(store.check_history(9).is_ok());
+    }
+
+    #[test]
+    fn whole_store_recovers_from_total_corruption() {
+        let mut store = KvCluster::bounded(1).seed(4).build();
+        let c = store.client(0);
+        store.put(c, 1, 11).unwrap();
+        store.put(c, 2, 22).unwrap();
+        store.corrupt_everything(CorruptionSeverity::Heavy);
+        // Assumption 1, per key: one complete write re-stabilizes a key.
+        store.put(c, 1, 111).unwrap();
+        store.put(c, 2, 222).unwrap();
+        let stable = store.now();
+        assert_eq!(store.get(c, 1).unwrap(), 111);
+        assert_eq!(store.get(c, 2).unwrap(), 222);
+        assert!(store.check_all_from(stable).is_ok());
+    }
+
+    #[test]
+    fn unwritten_key_reads_genesis() {
+        let mut store = KvCluster::bounded(1).seed(5).build();
+        let c = store.client(0);
+        assert_eq!(store.get(c, 777).unwrap(), 0);
+        assert!(store.check_history(777).is_ok());
+    }
+}

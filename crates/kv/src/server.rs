@@ -1,0 +1,146 @@
+//! The storage node: one register-server state per key, one process.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use sbft_core::config::ClusterConfig;
+use sbft_core::server::Server;
+use sbft_core::{Sys, Ts};
+use sbft_labels::LabelingSystem;
+use sbft_net::{Automaton, Ctx, ProcessId, ENV};
+
+use crate::messages::{Key, KvEvent, KvMsg};
+
+/// A server hosting the registers of every key it has ever been asked
+/// about. Unknown keys materialize in the genesis state on first contact —
+/// exactly like a fresh register.
+pub struct KvServer<B: LabelingSystem> {
+    sys: Sys<B>,
+    cfg: ClusterConfig,
+    /// Per-key register state.
+    pub registers: BTreeMap<Key, Server<B>>,
+}
+
+impl<B: LabelingSystem> KvServer<B> {
+    /// A storage node with no keys yet.
+    pub fn new(sys: Sys<B>, cfg: ClusterConfig) -> Self {
+        Self { sys, cfg, registers: BTreeMap::new() }
+    }
+
+    /// Number of keys materialized on this node.
+    pub fn key_count(&self) -> usize {
+        self.registers.len()
+    }
+}
+
+impl<B: LabelingSystem> Automaton<KvMsg<Ts<B>>, KvEvent<Ts<B>>> for KvServer<B> {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: KvMsg<Ts<B>>,
+        ctx: &mut Ctx<'_, KvMsg<Ts<B>>, KvEvent<Ts<B>>>,
+    ) {
+        if from == ENV {
+            return;
+        }
+        let key = msg.key;
+        let register = self
+            .registers
+            .entry(key)
+            .or_insert_with(|| Server::new(self.sys.clone(), self.cfg));
+        let (me, now) = (ctx.me, ctx.now);
+        let (sends, outputs) = {
+            let mut inner = Ctx::detached(me, now, ctx.rng());
+            register.on_message(from, msg.inner, &mut inner);
+            let (s, o, _) = inner.drain();
+            (s, o)
+        };
+        for (to, m) in sends {
+            ctx.send(to, KvMsg::new(key, m));
+        }
+        for o in outputs {
+            ctx.output(KvEvent { key, inner: o });
+        }
+    }
+
+    fn corrupt(&mut self, rng: &mut StdRng) {
+        // Scramble every materialized key's register state...
+        for register in self.registers.values_mut() {
+            register.corrupt(rng);
+        }
+        // ...and materialize a few phantom keys with corrupted state (the
+        // arbitrary-memory model does not respect key boundaries).
+        for _ in 0..rng.gen_range(0..3usize) {
+            let key = rng.gen::<Key>() % 8;
+            let mut phantom = Server::new(self.sys.clone(), self.cfg);
+            phantom.corrupt(rng);
+            self.registers.insert(key, phantom);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sbft_core::messages::Msg;
+    use sbft_labels::{BoundedLabeling, MwmrLabeling};
+
+    type B = BoundedLabeling;
+
+    fn node() -> KvServer<B> {
+        let cfg = ClusterConfig::stabilizing(1);
+        KvServer::new(MwmrLabeling::new(BoundedLabeling::new(cfg.label_k())), cfg)
+    }
+
+    fn deliver(
+        s: &mut KvServer<B>,
+        from: ProcessId,
+        msg: KvMsg<Ts<B>>,
+    ) -> Vec<(ProcessId, KvMsg<Ts<B>>)> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Ctx::detached(0, 0, &mut rng);
+        s.on_message(from, msg, &mut ctx);
+        ctx.drain().0
+    }
+
+    #[test]
+    fn keys_materialize_lazily_and_stay_isolated() {
+        let mut s = node();
+        assert_eq!(s.key_count(), 0);
+        let out = deliver(&mut s, 7, KvMsg::new(1, Msg::GetTs));
+        assert_eq!(s.key_count(), 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.key, 1, "replies carry the key");
+        deliver(&mut s, 7, KvMsg::new(2, Msg::GetTs));
+        assert_eq!(s.key_count(), 2);
+    }
+
+    #[test]
+    fn writes_to_one_key_do_not_touch_another() {
+        let mut s = node();
+        deliver(&mut s, 7, KvMsg::new(1, Msg::GetTs));
+        deliver(&mut s, 7, KvMsg::new(2, Msg::GetTs));
+        let ts = {
+            let reg = s.registers.get(&1).unwrap();
+            s.sys.next_for(9, std::slice::from_ref(&reg.ts))
+        };
+        deliver(&mut s, 7, KvMsg::new(1, Msg::Write { value: 42, ts }));
+        assert_eq!(s.registers.get(&1).unwrap().value, 42);
+        assert_eq!(s.registers.get(&2).unwrap().value, 0, "key 2 untouched");
+    }
+
+    #[test]
+    fn corruption_scrambles_all_keys() {
+        let mut s = node();
+        deliver(&mut s, 7, KvMsg::new(1, Msg::GetTs));
+        let mut rng = StdRng::seed_from_u64(9);
+        s.corrupt(&mut rng);
+        assert!(s.key_count() >= 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # sbft-labels — labeling (timestamping) systems for stabilizing BFT storage
+//!
+//! This crate implements the timestamping machinery required by the
+//! stabilizing Byzantine-fault-tolerant regular register of Bonomi,
+//! Potop-Butucaru and Tixeuil (IPPS 2015):
+//!
+//! * [`bounded`] — the *k-stabilizing bounded labeling system* (k-SBLS) of
+//!   Alon et al. (Definition 2 of the paper): a **finite** label domain with
+//!   an antisymmetric precedence relation `≺` and a `next()` function such
+//!   that for any set `L'` of at most `k` labels — *including arbitrarily
+//!   corrupted ones* — every `ℓ ∈ L'` satisfies `ℓ ≺ next(L')`.
+//! * [`unbounded`] — classical unbounded `u64` timestamps, used by the
+//!   non-stabilizing baseline protocols the paper compares against. These
+//!   are *not* corruption tolerant: a single poisoned maximal timestamp can
+//!   never be dominated within a bounded number of bits.
+//! * [`mwmr`] — composite `(label, writer-id)` timestamps implementing the
+//!   multi-writer extension of Section IV-D.
+//! * [`readlabel`] — the bounded read-label pool and `recent_labels` matrix
+//!   bookkeeping that backs the `find_read_label()` procedure (Figure 3).
+//! * [`system`] — the [`system::LabelingSystem`] abstraction shared by the
+//!   stabilizing protocol (bounded labels) and the baselines (unbounded).
+//!
+//! ## Why bounded labels are the crux
+//!
+//! In a self-stabilizing setting the initial memory content is arbitrary: an
+//! unbounded integer timestamp may start at `u64::MAX` and then no writer can
+//! ever dominate it. The k-SBLS sidesteps this by making `≺` a *non
+//! transitive* relation over a finite domain in which **every** set of at
+//! most `k` labels is dominated by some other label. The price is that `≺`
+//! is only a partial, non-transitive order — which is exactly why the
+//! register protocol needs the weighted-timestamp-graph machinery of
+//! `sbft-wtsg` instead of a simple `max()`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded;
+pub mod mwmr;
+pub mod readlabel;
+pub mod system;
+pub mod unbounded;
+
+pub use bounded::{BoundedLabel, BoundedLabeling};
+pub use mwmr::{MwmrLabeling, MwmrTimestamp, WriterId};
+pub use readlabel::{ReadLabel, ReadLabelPool};
+pub use system::LabelingSystem;
+pub use unbounded::{UnboundedLabeling, UnboundedTs};

@@ -1,0 +1,183 @@
+//! Multi-writer timestamps: `(label, writer-id)` pairs (Section IV-D).
+//!
+//! The MWMR extension of the paper associates each written value with a
+//! tuple of a bounded label and the writer's identity. Lemma 8 shows that
+//! consecutive writes are ordered by the labels themselves (the second
+//! writer's `next()` includes the first writer's label via quorum
+//! intersection), while *concurrent* writes — whose labels may be mutually
+//! incomparable — are totally ordered by a deterministic tie-break on the
+//! writer identity. This module packages that composite order so that the
+//! register protocol and the weighted-timestamp-graph machinery can treat
+//! SWMR and MWMR timestamps uniformly.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::system::LabelingSystem;
+
+/// Identity of a writer client. `0` is reserved for the genesis timestamp.
+pub type WriterId = u32;
+
+/// A composite multi-writer timestamp.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MwmrTimestamp<L> {
+    /// The underlying (bounded or unbounded) label.
+    pub label: L,
+    /// The writer that produced this timestamp.
+    pub writer: WriterId,
+}
+
+impl<L: fmt::Debug> fmt::Debug for MwmrTimestamp<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@w{}", self.label, self.writer)
+    }
+}
+
+impl<L> MwmrTimestamp<L> {
+    /// Pair a label with its writer.
+    pub fn new(label: L, writer: WriterId) -> Self {
+        Self { label, writer }
+    }
+}
+
+/// A labeling system over composite `(label, writer)` timestamps, layered on
+/// any base [`LabelingSystem`].
+///
+/// Precedence: label precedence decides when it is conclusive; otherwise
+/// (equal or incomparable labels) the writer identity — and, as a final
+/// deterministic residue, the label's structural order — breaks the tie.
+/// Antisymmetry is preserved: the tie-break is itself a strict total order
+/// and is only consulted when label precedence is silent in both directions.
+#[derive(Clone, Debug)]
+pub struct MwmrLabeling<S> {
+    base: S,
+}
+
+impl<S: LabelingSystem> MwmrLabeling<S> {
+    /// Wrap a base labeling system.
+    pub fn new(base: S) -> Self {
+        Self { base }
+    }
+
+    /// Access the underlying single-writer labeling system.
+    pub fn base(&self) -> &S {
+        &self.base
+    }
+
+    /// `next()` for a specific writer: dominate the seen labels and stamp
+    /// the writer's identity.
+    pub fn next_for(&self, writer: WriterId, seen: &[MwmrTimestamp<S::Label>]) -> MwmrTimestamp<S::Label> {
+        let labels: Vec<S::Label> = seen.iter().map(|t| t.label.clone()).collect();
+        MwmrTimestamp::new(self.base.next(&labels), writer)
+    }
+}
+
+impl<S: LabelingSystem> LabelingSystem for MwmrLabeling<S> {
+    type Label = MwmrTimestamp<S::Label>;
+
+    fn k(&self) -> usize {
+        self.base.k()
+    }
+
+    fn precedes(&self, a: &Self::Label, b: &Self::Label) -> bool {
+        if a == b {
+            return false;
+        }
+        if self.base.precedes(&a.label, &b.label) {
+            return true;
+        }
+        if self.base.precedes(&b.label, &a.label) {
+            return false;
+        }
+        // Labels equal or incomparable: deterministic total tie-break.
+        (a.writer, &a.label) < (b.writer, &b.label)
+    }
+
+    fn next(&self, seen: &[Self::Label]) -> Self::Label {
+        // Writer-less next (writer 0); protocol code uses `next_for`.
+        self.next_for(0, seen)
+    }
+
+    fn sanitize(&self, raw: Self::Label) -> Self::Label {
+        MwmrTimestamp::new(self.base.sanitize(raw.label), raw.writer)
+    }
+
+    fn genesis(&self) -> Self::Label {
+        MwmrTimestamp::new(self.base.genesis(), 0)
+    }
+
+    fn arbitrary(&self, rng: &mut StdRng) -> Self::Label {
+        MwmrTimestamp::new(self.base.arbitrary(rng), rng.gen::<WriterId>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::BoundedLabeling;
+    use crate::unbounded::UnboundedLabeling;
+
+    #[test]
+    fn label_precedence_dominates_writer_tiebreak() {
+        let s = MwmrLabeling::new(UnboundedLabeling);
+        let a = MwmrTimestamp::new(1u64, 99);
+        let b = MwmrTimestamp::new(2u64, 1);
+        assert!(s.precedes(&a, &b));
+        assert!(!s.precedes(&b, &a));
+    }
+
+    #[test]
+    fn equal_labels_break_by_writer() {
+        let s = MwmrLabeling::new(UnboundedLabeling);
+        let a = MwmrTimestamp::new(5u64, 1);
+        let b = MwmrTimestamp::new(5u64, 2);
+        assert!(s.precedes(&a, &b));
+        assert!(!s.precedes(&b, &a));
+    }
+
+    #[test]
+    fn incomparable_bounded_labels_totally_ordered() {
+        let base = BoundedLabeling::new(3);
+        let s = MwmrLabeling::new(base.clone());
+        // Mutually non-dominating by construction: neither sting appears in
+        // the other's antistings.
+        let x = base.sanitize(crate::bounded::BoundedLabel::new(5, vec![0, 1, 2]));
+        let y = base.sanitize(crate::bounded::BoundedLabel::new(6, vec![0, 1, 3]));
+        assert!(base.incomparable(&x, &y));
+        let a = MwmrTimestamp::new(x, 7);
+        let b = MwmrTimestamp::new(y, 7);
+        // Exactly one direction holds.
+        assert!(s.precedes(&a, &b) ^ s.precedes(&b, &a));
+    }
+
+    #[test]
+    fn next_for_dominates_and_stamps_writer() {
+        let s = MwmrLabeling::new(BoundedLabeling::new(4));
+        let g = s.genesis();
+        let t = s.next_for(3, std::slice::from_ref(&g));
+        assert_eq!(t.writer, 3);
+        assert!(s.precedes(&g, &t));
+    }
+
+    #[test]
+    fn irreflexive() {
+        let s = MwmrLabeling::new(UnboundedLabeling);
+        let a = MwmrTimestamp::new(9u64, 4);
+        assert!(!s.precedes(&a, &a));
+    }
+
+    #[test]
+    fn sanitize_passes_through_writer() {
+        let s = MwmrLabeling::new(BoundedLabeling::new(3));
+        let raw = MwmrTimestamp::new(
+            crate::bounded::BoundedLabel::new(10_000, vec![1, 1, 1, 1, 1]),
+            42,
+        );
+        let clean = s.sanitize(raw);
+        assert_eq!(clean.writer, 42);
+        assert_eq!(clean.label, s.base().sanitize(clean.label.clone()));
+    }
+}

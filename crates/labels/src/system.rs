@@ -1,0 +1,115 @@
+//! The [`LabelingSystem`] abstraction.
+//!
+//! The paper (Section IV-A, after Israeli & Li) characterizes a labeling
+//! system as a finite or infinite label set equipped with an antisymmetric
+//! binary precedence relation and a function computing a label that dominates
+//! a given set of labels. Both the stabilizing register (bounded labels) and
+//! the baseline registers (unbounded integers) are generic over this trait,
+//! so the *same* protocol code can be instantiated with either and the effect
+//! of boundedness measured in isolation (experiment E6).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use rand::rngs::StdRng;
+
+/// A labeling (timestamping) system: a label domain, an antisymmetric
+/// precedence relation `≺`, and a dominating-label generator `next()`.
+///
+/// Implementations must guarantee, for any well-formed labels `a`, `b`:
+///
+/// * **Antisymmetry**: `precedes(a, b)` and `precedes(b, a)` never both hold.
+/// * **Irreflexivity**: `precedes(a, a)` is false.
+/// * **k-dominance**: for any slice `seen` with `seen.len() <= k()`,
+///   `precedes(l, &next(seen))` holds for every `l` in `seen` — even when
+///   the labels in `seen` are adversarially chosen (after [`Self::sanitize`]).
+///
+/// Transitivity is **not** required; the bounded system is deliberately
+/// non-transitive (a transitive antisymmetric relation over a finite set with
+/// the k-dominance property cannot exist, by following a dominating chain
+/// around the finite domain).
+pub trait LabelingSystem: Clone + Send + Sync + 'static {
+    /// The label type produced and compared by this system.
+    type Label: Clone + Eq + Hash + Ord + Debug + Send + Sync + 'static;
+
+    /// Maximum size of a label set that [`Self::next`] is guaranteed to
+    /// dominate. Unbounded systems return `usize::MAX`.
+    fn k(&self) -> usize;
+
+    /// Whether `a ≺ b` in this system's precedence relation.
+    fn precedes(&self, a: &Self::Label, b: &Self::Label) -> bool;
+
+    /// Compute a label dominating every label in `seen`.
+    ///
+    /// If `seen.len() > k()` the result dominates an arbitrary subset of `k`
+    /// of them (callers are responsible for respecting `k`; the register
+    /// protocol sizes `k` so that a quorum of replies always fits).
+    fn next(&self, seen: &[Self::Label]) -> Self::Label;
+
+    /// Repair an arbitrarily corrupted label into a well-formed one.
+    ///
+    /// Transient faults may set local variables to arbitrary bit patterns;
+    /// every label read from (potentially corrupted) state or received from
+    /// the (potentially corrupted) network must pass through `sanitize`
+    /// before being used, so that the algebraic guarantees above apply.
+    fn sanitize(&self, raw: Self::Label) -> Self::Label;
+
+    /// The canonical initial ("zero") label for freshly booted processes.
+    fn genesis(&self) -> Self::Label;
+
+    /// Produce an arbitrary — possibly ill-formed — label, as a transient
+    /// fault would: the result models random memory content and must be
+    /// passed through [`Self::sanitize`] before algebraic use. Fault
+    /// injection uses this to scramble local states and forge in-transit
+    /// garbage messages.
+    fn arbitrary(&self, rng: &mut StdRng) -> Self::Label;
+
+    /// True when neither `a ≺ b` nor `b ≺ a` and `a != b`.
+    fn incomparable(&self, a: &Self::Label, b: &Self::Label) -> bool {
+        a != b && !self.precedes(a, b) && !self.precedes(b, a)
+    }
+
+    /// Select the maximal elements of `labels` under `≺`: those not preceded
+    /// by any other element. With a non-transitive relation there may be
+    /// several, or (in a precedence cycle) none — in which case all inputs
+    /// are returned so callers can apply a deterministic tie-break.
+    fn maximal<'a>(&self, labels: &'a [Self::Label]) -> Vec<&'a Self::Label> {
+        let mut out: Vec<&'a Self::Label> = labels
+            .iter()
+            .filter(|a| !labels.iter().any(|b| self.precedes(a, b)))
+            .collect();
+        if out.is_empty() {
+            out = labels.iter().collect();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unbounded::UnboundedLabeling;
+
+    #[test]
+    fn maximal_of_unbounded_is_max() {
+        let sys = UnboundedLabeling;
+        let labels = vec![3u64, 9, 1, 9, 4];
+        let m = sys.maximal(&labels);
+        assert!(m.iter().all(|&&l| l == 9));
+    }
+
+    #[test]
+    fn maximal_of_empty_is_empty() {
+        let sys = UnboundedLabeling;
+        let m = sys.maximal(&[]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn incomparable_is_false_for_totally_ordered() {
+        let sys = UnboundedLabeling;
+        assert!(!sys.incomparable(&1, &2));
+        assert!(!sys.incomparable(&2, &1));
+        assert!(!sys.incomparable(&2, &2));
+    }
+}

@@ -1,0 +1,94 @@
+//! Unbounded integer timestamps — the comparator labeling system used by
+//! the classical (non-stabilizing) BFT register baselines of Section V.
+//!
+//! `next()` is `max + 1`; precedence is plain `<`. This system is totally
+//! ordered and transitive, but it is **not** stabilizing: `sanitize` cannot
+//! repair a poisoned `u64::MAX` timestamp, after which `next()` saturates and
+//! dominance fails. Experiment E6 measures exactly this failure mode against
+//! the bounded scheme.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::system::LabelingSystem;
+
+/// An unbounded timestamp (alias kept for API symmetry with `BoundedLabel`).
+pub type UnboundedTs = u64;
+
+/// The trivial unbounded labeling system over `u64`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnboundedLabeling;
+
+impl LabelingSystem for UnboundedLabeling {
+    type Label = UnboundedTs;
+
+    fn k(&self) -> usize {
+        usize::MAX
+    }
+
+    #[inline]
+    fn precedes(&self, a: &u64, b: &u64) -> bool {
+        a < b
+    }
+
+    fn next(&self, seen: &[u64]) -> u64 {
+        // Saturating: once a corrupted u64::MAX enters the system, dominance
+        // is permanently lost — the defect the bounded scheme removes.
+        seen.iter().copied().max().unwrap_or(0).saturating_add(1)
+    }
+
+    fn sanitize(&self, raw: u64) -> u64 {
+        raw // every bit pattern is a "valid" timestamp; nothing to repair
+    }
+
+    fn genesis(&self) -> u64 {
+        0
+    }
+
+    fn arbitrary(&self, rng: &mut StdRng) -> u64 {
+        // Uniform over the full domain: with high probability a corrupted
+        // unbounded timestamp is astronomically larger than any honest one,
+        // which is precisely the poisoning failure experiment E6 measures.
+        rng.gen::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_is_max_plus_one() {
+        let s = UnboundedLabeling;
+        assert_eq!(s.next(&[3, 9, 1]), 10);
+        assert_eq!(s.next(&[]), 1);
+    }
+
+    #[test]
+    fn poisoned_max_defeats_dominance() {
+        // The stabilization failure the paper motivates: a corrupted maximal
+        // timestamp can never be dominated.
+        let s = UnboundedLabeling;
+        let poisoned = u64::MAX;
+        let nl = s.next(&[poisoned]);
+        assert!(
+            !s.precedes(&poisoned, &nl),
+            "unbounded next() cannot dominate a poisoned max timestamp"
+        );
+    }
+
+    #[test]
+    fn total_order() {
+        let s = UnboundedLabeling;
+        assert!(s.precedes(&1, &2));
+        assert!(!s.precedes(&2, &1));
+        assert!(!s.incomparable(&5, &7));
+    }
+
+    #[test]
+    fn genesis_precedes_first_next() {
+        let s = UnboundedLabeling;
+        let g = s.genesis();
+        assert!(s.precedes(&g, &s.next(&[g])));
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the labeling systems: the algebraic guarantees
+//! of Definition 2 (k-SBLS) must hold for *arbitrary* (adversarial) inputs,
+//! because in the self-stabilizing model every label may originate from a
+//! corrupted state.
+
+use proptest::prelude::*;
+use sbft_labels::{
+    BoundedLabel, BoundedLabeling, LabelingSystem, MwmrLabeling, MwmrTimestamp, ReadLabelPool,
+    UnboundedLabeling,
+};
+
+/// Strategy: an arbitrary (unsanitized) bounded label.
+fn raw_label() -> impl Strategy<Value = BoundedLabel> {
+    (any::<u32>(), proptest::collection::vec(any::<u32>(), 0..12))
+        .prop_map(|(sting, anti)| BoundedLabel::new(sting, anti))
+}
+
+proptest! {
+    #[test]
+    fn sanitize_idempotent(k in 2usize..9, l in raw_label()) {
+        let sys = BoundedLabeling::new(k);
+        let once = sys.sanitize(l);
+        prop_assert_eq!(once.clone(), sys.sanitize(once));
+    }
+
+    #[test]
+    fn sanitize_establishes_invariants(k in 2usize..9, l in raw_label()) {
+        let sys = BoundedLabeling::new(k);
+        let c = sys.sanitize(l);
+        prop_assert!(c.sting < sys.domain());
+        prop_assert_eq!(c.antistings.len(), k);
+        prop_assert!(c.antistings.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(c.antistings.iter().all(|&v| v < sys.domain()));
+        prop_assert!(!c.has_antisting(c.sting));
+    }
+
+    /// Definition 2: ∀ L' with |L'| ≤ k, ∀ ℓ ∈ L', ℓ ≺ next(L').
+    #[test]
+    fn k_dominance(k in 2usize..9, seed in proptest::collection::vec(raw_label(), 0..8)) {
+        let sys = BoundedLabeling::new(k);
+        let seen: Vec<BoundedLabel> = seed
+            .into_iter()
+            .take(k)
+            .map(|l| sys.sanitize(l))
+            .collect();
+        let nl = sys.next(&seen);
+        // next() must itself be well-formed...
+        prop_assert_eq!(nl.clone(), sys.sanitize(nl.clone()));
+        // ...and dominate every input.
+        for l in &seen {
+            prop_assert!(sys.precedes(l, &nl), "{:?} must precede {:?}", l, nl);
+        }
+    }
+
+    /// Antisymmetry + irreflexivity over arbitrary sanitized pairs.
+    #[test]
+    fn antisymmetric_irreflexive(k in 2usize..9, a in raw_label(), b in raw_label()) {
+        let sys = BoundedLabeling::new(k);
+        let a = sys.sanitize(a);
+        let b = sys.sanitize(b);
+        prop_assert!(!(sys.precedes(&a, &b) && sys.precedes(&b, &a)));
+        prop_assert!(!sys.precedes(&a, &a));
+    }
+
+    /// The MWMR composite order totally orders any two distinct timestamps
+    /// (Lemma 8: concurrent or consecutive writes can be totally ordered).
+    #[test]
+    fn mwmr_total_on_distinct(
+        a in raw_label(), b in raw_label(),
+        wa in 0u32..8, wb in 0u32..8,
+    ) {
+        let base = BoundedLabeling::new(4);
+        let sys = MwmrLabeling::new(base.clone());
+        let ta = MwmrTimestamp::new(base.sanitize(a), wa);
+        let tb = MwmrTimestamp::new(base.sanitize(b), wb);
+        if ta != tb {
+            prop_assert!(sys.precedes(&ta, &tb) ^ sys.precedes(&tb, &ta));
+        } else {
+            prop_assert!(!sys.precedes(&ta, &tb));
+        }
+    }
+
+    /// maximal() never returns an element preceded by another input
+    /// (unless a cycle forced the fallback-to-all case).
+    #[test]
+    fn maximal_sound(k in 2usize..7, seed in proptest::collection::vec(raw_label(), 1..10)) {
+        let sys = BoundedLabeling::new(k);
+        let labels: Vec<BoundedLabel> = seed.into_iter().map(|l| sys.sanitize(l)).collect();
+        let maxima = sys.maximal(&labels);
+        prop_assert!(!maxima.is_empty());
+        let strict = labels
+            .iter()
+            .filter(|a| !labels.iter().any(|b| sys.precedes(a, b)))
+            .count();
+        if strict > 0 {
+            for m in &maxima {
+                prop_assert!(!labels.iter().any(|b| sys.precedes(m, b)));
+            }
+        }
+    }
+
+    /// Unbounded timestamps satisfy dominance only absent corruption:
+    /// next() dominates any set not containing u64::MAX.
+    #[test]
+    fn unbounded_dominance_without_poison(seen in proptest::collection::vec(0u64..u64::MAX, 0..16)) {
+        let sys = UnboundedLabeling;
+        let nl = sys.next(&seen);
+        for l in &seen {
+            prop_assert!(sys.precedes(l, &nl));
+        }
+    }
+
+    /// Read-label pool: candidate() never returns the last label and adopts
+    /// stay in-domain under arbitrary interleavings of marks/clears.
+    #[test]
+    fn pool_candidate_valid(
+        n in 1usize..8, k in 2usize..6,
+        ops in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 0..64),
+    ) {
+        let mut p = ReadLabelPool::new(n, k);
+        for (srv, lbl, set) in ops {
+            let srv = srv as usize % (n + 2); // occasionally out of range
+            if set { p.mark_pending(srv, lbl as u32); } else { p.clear_pending(srv, lbl as u32); }
+            let c = p.candidate();
+            prop_assert!((c as usize) < k);
+            prop_assert_ne!(Some(c), p.last());
+            p.adopt(c);
+        }
+    }
+
+    /// Pool pending-count equals the number of clear_servers complement.
+    #[test]
+    fn pool_counts_consistent(
+        n in 1usize..8, k in 2usize..6,
+        marks in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..40),
+    ) {
+        let mut p = ReadLabelPool::new(n, k);
+        for (srv, lbl) in marks {
+            p.mark_pending(srv as usize % n, lbl as u32);
+        }
+        for l in 0..k as u32 {
+            prop_assert_eq!(p.pending_count(l) + p.clear_servers(l).len(), n);
+        }
+    }
+}
+
+/// Stress: a long chain of next() over a small domain must keep dominance at
+/// every step even after the label space wraps around many times.
+#[test]
+fn long_chain_wraparound_dominance() {
+    let sys = BoundedLabeling::new(3); // tiny domain K = 13
+    let mut cur = sys.genesis();
+    for _ in 0..10_000 {
+        let nl = sys.next(std::slice::from_ref(&cur));
+        assert!(sys.precedes(&cur, &nl));
+        cur = nl;
+    }
+}
+
+/// Stress: dominance over rolling windows (simulating quorum replies).
+#[test]
+fn rolling_window_dominance() {
+    let sys = BoundedLabeling::new(6);
+    let mut window: Vec<BoundedLabel> = vec![sys.genesis()];
+    for i in 0..2_000 {
+        let nl = sys.next(&window);
+        for l in &window {
+            assert!(sys.precedes(l, &nl), "step {i}: {l:?} !< {nl:?}");
+        }
+        window.push(nl);
+        if window.len() > 6 {
+            window.remove(0);
+        }
+    }
+}

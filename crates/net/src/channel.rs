@@ -1,0 +1,218 @@
+//! Reliable FIFO point-to-point channel bookkeeping for the simulator.
+//!
+//! The paper assumes channels that neither create, modify, nor lose
+//! messages and that deliver in FIFO order (Section II). In the simulator a
+//! message sent at time `t` over channel `(a, b)` is scheduled for delivery
+//! at `max(t + delay, last scheduled delivery on (a, b) + 1)`, so arbitrary
+//! asynchrony is modelled while per-channel ordering is strict.
+//!
+//! Channels can additionally be **held**: a held channel buffers messages
+//! instead of scheduling them, and releases them in order on demand. This is
+//! the mechanism scripted adversarial schedules (the "slow server" of the
+//! Theorem 1 proof) use to steer executions precisely.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::process::ProcessId;
+
+/// Message delay distribution: uniform in `[min, max]` virtual time units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DelayModel {
+    /// Minimum delay (≥ 1 to keep sends strictly in the future).
+    pub min: u64,
+    /// Maximum delay (inclusive).
+    pub max: u64,
+}
+
+impl DelayModel {
+    /// Uniform delays in `[min, max]`.
+    pub fn uniform(min: u64, max: u64) -> Self {
+        assert!(min >= 1, "delays must be at least 1 tick");
+        assert!(min <= max, "empty delay range");
+        Self { min, max }
+    }
+
+    /// Constant unit delay — a synchronous network, useful in unit tests.
+    pub fn unit() -> Self {
+        Self { min: 1, max: 1 }
+    }
+
+    /// Sample a delay.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        if self.min == self.max {
+            self.min
+        } else {
+            rng.gen_range(self.min..=self.max)
+        }
+    }
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self::uniform(1, 10)
+    }
+}
+
+/// Per-ordered-pair channel state.
+#[derive(Debug, Default)]
+struct ChannelState<M> {
+    /// Latest delivery time already scheduled on this channel.
+    last_delivery: u64,
+    /// Held (unscheduled) messages while the channel is paused.
+    held: VecDeque<M>,
+    /// Whether the channel currently buffers instead of delivering.
+    paused: bool,
+}
+
+/// All channels of a simulation.
+#[derive(Debug)]
+pub struct ChannelMap<M> {
+    delay: DelayModel,
+    states: HashMap<(ProcessId, ProcessId), ChannelState<M>>,
+}
+
+impl<M> ChannelMap<M> {
+    /// Create with the given delay model.
+    pub fn new(delay: DelayModel) -> Self {
+        Self { delay, states: HashMap::new() }
+    }
+
+    /// The configured delay model.
+    pub fn delay_model(&self) -> DelayModel {
+        self.delay
+    }
+
+    fn state(&mut self, from: ProcessId, to: ProcessId) -> &mut ChannelState<M> {
+        self.states.entry((from, to)).or_insert_with(|| ChannelState {
+            last_delivery: 0,
+            held: VecDeque::new(),
+            paused: false,
+        })
+    }
+
+    /// Compute the FIFO-respecting delivery time for a message sent `now`,
+    /// or buffer it if the channel is paused. Returns `Some(delivery_time)`
+    /// when the message should be scheduled.
+    pub fn schedule(&mut self, from: ProcessId, to: ProcessId, now: u64, msg: M, rng: &mut StdRng) -> Option<(u64, M)> {
+        let delay = self.delay.sample(rng);
+        let st = self.state(from, to);
+        if st.paused {
+            st.held.push_back(msg);
+            return None;
+        }
+        let t = (now + delay).max(st.last_delivery + 1);
+        st.last_delivery = t;
+        Some((t, msg))
+    }
+
+    /// Pause the channel `(from, to)`: subsequent (and only subsequent)
+    /// messages are buffered in order.
+    pub fn pause(&mut self, from: ProcessId, to: ProcessId) {
+        self.state(from, to).paused = true;
+    }
+
+    /// Whether the channel is paused.
+    pub fn is_paused(&self, from: ProcessId, to: ProcessId) -> bool {
+        self.states.get(&(from, to)).map(|s| s.paused).unwrap_or(false)
+    }
+
+    /// Resume the channel, returning the held messages (in FIFO order) with
+    /// their computed delivery times, ready to be scheduled.
+    pub fn resume(&mut self, from: ProcessId, to: ProcessId, now: u64, rng: &mut StdRng) -> Vec<(u64, M)> {
+        let delay = self.delay;
+        let st = self.state(from, to);
+        st.paused = false;
+        let held: Vec<M> = st.held.drain(..).collect();
+        let mut out = Vec::with_capacity(held.len());
+        for msg in held {
+            let d = delay.sample(rng);
+            let t = (now + d).max(st.last_delivery + 1);
+            st.last_delivery = t;
+            out.push((t, msg));
+        }
+        out
+    }
+
+    /// Number of held messages on a paused channel.
+    pub fn held_count(&self, from: ProcessId, to: ProcessId) -> usize {
+        self.states.get(&(from, to)).map(|s| s.held.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn fifo_order_is_strict() {
+        let mut ch: ChannelMap<u32> = ChannelMap::new(DelayModel::uniform(1, 100));
+        let mut r = rng();
+        let mut last = 0;
+        for i in 0..50 {
+            let (t, _) = ch.schedule(0, 1, 0, i, &mut r).unwrap();
+            assert!(t > last, "delivery times must strictly increase per channel");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn independent_channels_do_not_interfere() {
+        let mut ch: ChannelMap<u32> = ChannelMap::new(DelayModel::unit());
+        let mut r = rng();
+        let (t1, _) = ch.schedule(0, 1, 0, 1, &mut r).unwrap();
+        let (t2, _) = ch.schedule(1, 0, 0, 2, &mut r).unwrap();
+        assert_eq!(t1, 1);
+        assert_eq!(t2, 1);
+    }
+
+    #[test]
+    fn pause_buffers_and_resume_preserves_order() {
+        let mut ch: ChannelMap<u32> = ChannelMap::new(DelayModel::unit());
+        let mut r = rng();
+        ch.pause(0, 1);
+        assert!(ch.schedule(0, 1, 5, 10, &mut r).is_none());
+        assert!(ch.schedule(0, 1, 6, 11, &mut r).is_none());
+        assert_eq!(ch.held_count(0, 1), 2);
+        let released = ch.resume(0, 1, 100, &mut r);
+        let msgs: Vec<u32> = released.iter().map(|&(_, m)| m).collect();
+        assert_eq!(msgs, vec![10, 11]);
+        assert!(released[0].0 < released[1].0);
+        assert!(released[0].0 > 100);
+    }
+
+    #[test]
+    fn resume_respects_prior_deliveries() {
+        let mut ch: ChannelMap<u32> = ChannelMap::new(DelayModel::unit());
+        let mut r = rng();
+        let (t0, _) = ch.schedule(0, 1, 50, 1, &mut r).unwrap();
+        ch.pause(0, 1);
+        ch.schedule(0, 1, 51, 2, &mut r);
+        let rel = ch.resume(0, 1, 52, &mut r);
+        assert!(rel[0].0 > t0);
+    }
+
+    #[test]
+    fn delay_model_bounds() {
+        let m = DelayModel::uniform(3, 9);
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = m.sample(&mut r);
+            assert!((3..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_min_delay_rejected() {
+        DelayModel::uniform(0, 5);
+    }
+}

@@ -1,0 +1,42 @@
+//! # sbft-net — asynchronous message-passing substrates
+//!
+//! The paper's system model (Section II) is an asynchronous message-passing
+//! system with reliable FIFO point-to-point channels, where processes may be
+//! Byzantine and both local states and channel contents may start arbitrarily
+//! corrupted. This crate provides two executable substrates for that model:
+//!
+//! * [`sim`] — a **deterministic discrete-event simulator**: seeded random
+//!   message delays, strict per-channel FIFO, virtual time, single-stepping,
+//!   and complete control over scheduling. All correctness experiments run
+//!   here, because adversarial schedules (e.g. the exact execution of the
+//!   paper's Theorem 1 proof) must be replayable.
+//! * [`threaded`] — a **real-thread runtime** where every process is an OS
+//!   thread and channels are crossbeam FIFO queues. Used for wall-clock
+//!   throughput measurements (experiment E9); per-producer channel order
+//!   gives the required FIFO property for free.
+//!
+//! Protocols are written *sans-IO* as [`process::Automaton`] state machines
+//! and run unchanged on either substrate.
+//!
+//! Fault injection lives in [`corruption`] (transient state/channel
+//! corruption — the "stabilizing" part of the model) while Byzantine
+//! behaviours are ordinary `Automaton` implementations provided by the
+//! protocol crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod corruption;
+pub mod metrics;
+pub mod process;
+pub mod sim;
+pub mod threaded;
+pub mod trace;
+
+pub use channel::DelayModel;
+pub use corruption::CorruptionSeverity;
+pub use metrics::NetMetrics;
+pub use process::{Automaton, Ctx, ProcessId, ENV};
+pub use sim::{SimConfig, SimEvent, Simulation};
+pub use threaded::ThreadedCluster;

@@ -1,0 +1,102 @@
+//! Network-level measurements collected by the substrates.
+//!
+//! The experiment harness reports message complexity (messages per
+//! operation) and event counts from these counters; per-process tallies
+//! support the quorum-cost comparison of experiment E7.
+
+use std::collections::HashMap;
+
+use crate::process::ProcessId;
+
+/// Counters maintained by a [`crate::sim::Simulation`].
+#[derive(Clone, Debug, Default)]
+pub struct NetMetrics {
+    /// Messages handed to channels (including commands from the environment).
+    pub messages_sent: u64,
+    /// Messages delivered to a live process.
+    pub messages_delivered: u64,
+    /// Messages dropped (crashed destination, unknown destination).
+    pub messages_dropped: u64,
+    /// Events processed (deliveries + timers).
+    pub events_processed: u64,
+    /// Per-sender message counts.
+    pub sent_by: HashMap<ProcessId, u64>,
+    /// Per-receiver delivery counts.
+    pub received_by: HashMap<ProcessId, u64>,
+}
+
+impl NetMetrics {
+    pub(crate) fn record_send(&mut self, from: ProcessId, _to: ProcessId) {
+        self.messages_sent += 1;
+        *self.sent_by.entry(from).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_delivery(&mut self, _from: ProcessId, to: ProcessId) {
+        self.messages_delivered += 1;
+        *self.received_by.entry(to).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    pub(crate) fn record_event(&mut self) {
+        self.events_processed += 1;
+    }
+
+    /// Messages sent by a given process.
+    pub fn sent_by_process(&self, pid: ProcessId) -> u64 {
+        self.sent_by.get(&pid).copied().unwrap_or(0)
+    }
+
+    /// Messages delivered to a given process.
+    pub fn received_by_process(&self, pid: ProcessId) -> u64 {
+        self.received_by.get(&pid).copied().unwrap_or(0)
+    }
+
+    /// Difference of two snapshots — the traffic between them.
+    pub fn delta_since(&self, earlier: &NetMetrics) -> NetMetrics {
+        NetMetrics {
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            messages_delivered: self.messages_delivered - earlier.messages_delivered,
+            messages_dropped: self.messages_dropped - earlier.messages_dropped,
+            events_processed: self.events_processed - earlier.events_processed,
+            sent_by: HashMap::new(),
+            received_by: HashMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = NetMetrics::default();
+        m.record_send(0, 1);
+        m.record_send(0, 2);
+        m.record_send(1, 2);
+        m.record_delivery(0, 1);
+        m.record_drop();
+        m.record_event();
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.sent_by_process(0), 2);
+        assert_eq!(m.sent_by_process(1), 1);
+        assert_eq!(m.received_by_process(1), 1);
+        assert_eq!(m.messages_dropped, 1);
+        assert_eq!(m.events_processed, 1);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let mut m = NetMetrics::default();
+        m.record_send(0, 1);
+        let snap = m.clone();
+        m.record_send(0, 1);
+        m.record_send(0, 1);
+        let d = m.delta_since(&snap);
+        assert_eq!(d.messages_sent, 2);
+        assert_eq!(d.messages_delivered, 0);
+    }
+}

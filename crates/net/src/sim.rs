@@ -1,0 +1,541 @@
+//! The deterministic discrete-event simulator.
+//!
+//! Executions of the paper's model are sequences of message deliveries with
+//! arbitrary finite delays. The simulator realizes one such execution per
+//! seed: every send samples a delay from the configured [`DelayModel`]
+//! (FIFO-corrected per channel), events are totally ordered by
+//! `(time, sequence)`, and all randomness flows from one seeded [`StdRng`] —
+//! so a `(topology, workload, seed)` triple reproduces the exact same
+//! execution, message for message. Scripted adversarial schedules (Theorem 1)
+//! are built from the channel pause/resume controls.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt::Debug;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::channel::{ChannelMap, DelayModel};
+use crate::metrics::NetMetrics;
+use crate::process::{Automaton, Ctx, ProcessId, ENV};
+use crate::trace::Trace;
+
+/// Simulator construction parameters.
+#[derive(Clone, Debug)]
+#[derive(Default)]
+pub struct SimConfig {
+    /// Seed for all simulator randomness (delays, adversary coin flips).
+    pub seed: u64,
+    /// Message delay distribution.
+    pub delay: DelayModel,
+    /// Ring-buffer capacity of the debug trace (0 disables tracing).
+    pub trace_capacity: usize,
+}
+
+
+impl SimConfig {
+    /// Config with a specific seed and default delays.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Replace the delay model.
+    pub fn with_delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Enable the debug trace.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+enum EventKind<M> {
+    Deliver { from: ProcessId, to: ProcessId, msg: M },
+    Timer { pid: ProcessId, id: u64 },
+}
+
+struct Queued<M> {
+    time: u64,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Record of one processed event, as returned by [`Simulation::step`].
+#[derive(Clone, Debug)]
+pub struct SimEvent<O> {
+    /// Virtual time at which the event was processed.
+    pub time: u64,
+    /// The process that acted.
+    pub pid: ProcessId,
+    /// Observable outputs the process emitted during this event.
+    pub outputs: Vec<O>,
+}
+
+/// A deterministic discrete-event simulation over automata exchanging `M`
+/// and emitting observables `O`.
+pub struct Simulation<M, O> {
+    now: u64,
+    seq: u64,
+    queue: BinaryHeap<Queued<M>>,
+    procs: Vec<Box<dyn Automaton<M, O>>>,
+    crashed: Vec<bool>,
+    channels: ChannelMap<M>,
+    rng: StdRng,
+    metrics: NetMetrics,
+    trace: Trace,
+    started: bool,
+}
+
+impl<M, O> Simulation<M, O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    /// Create an empty simulation.
+    pub fn new(config: SimConfig) -> Self {
+        Self {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            procs: Vec::new(),
+            crashed: Vec::new(),
+            channels: ChannelMap::new(config.delay),
+            rng: StdRng::seed_from_u64(config.seed),
+            metrics: NetMetrics::default(),
+            trace: Trace::new(config.trace_capacity),
+            started: false,
+        }
+    }
+
+    /// Register a process; returns its id (assigned densely from 0).
+    pub fn add_process(&mut self, a: Box<dyn Automaton<M, O>>) -> ProcessId {
+        self.procs.push(a);
+        self.crashed.push(false);
+        self.procs.len() - 1
+    }
+
+    /// Number of registered processes.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Network metrics collected so far.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// The debug trace (empty unless enabled in [`SimConfig`]).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Mutable access to a process automaton (for typed state inspection in
+    /// tests via `as_any_mut`-style downcasts provided by protocol crates).
+    pub fn process_mut(&mut self, pid: ProcessId) -> &mut dyn Automaton<M, O> {
+        &mut *self.procs[pid]
+    }
+
+    /// Run each process's `on_start` hook. Idempotent.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for pid in 0..self.procs.len() {
+            self.dispatch(pid, |auto, ctx| auto.on_start(ctx));
+        }
+    }
+
+    /// Run one automaton callback with a context, then absorb its effects.
+    /// The RNG is moved out for the duration so the borrow of `self` splits.
+    fn dispatch(
+        &mut self,
+        pid: ProcessId,
+        f: impl FnOnce(&mut dyn Automaton<M, O>, &mut Ctx<'_, M, O>),
+    ) -> Vec<O> {
+        let mut rng = std::mem::replace(&mut self.rng, StdRng::seed_from_u64(0));
+        let mut ctx = Ctx::new(pid, self.now, &mut rng);
+        f(&mut *self.procs[pid], &mut ctx);
+        let (outbox, outputs, timers) = (
+            std::mem::take(&mut ctx.outbox),
+            std::mem::take(&mut ctx.outputs),
+            std::mem::take(&mut ctx.timers),
+        );
+        drop(ctx);
+        self.rng = rng;
+        self.absorb(pid, outbox, timers);
+        outputs
+    }
+
+    fn push(&mut self, time: u64, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Queued { time, seq, kind });
+    }
+
+    /// Collect effects from a finished callback into the event queue.
+    fn absorb(&mut self, pid: ProcessId, outbox: Vec<(ProcessId, M)>, timers: Vec<(u64, u64)>) {
+        for (to, msg) in outbox {
+            if to == ENV || to >= self.procs.len() {
+                self.metrics.record_drop();
+                continue;
+            }
+            self.metrics.record_send(pid, to);
+            if let Some((t, m)) = self.channels.schedule(pid, to, self.now, msg, &mut self.rng) {
+                self.push(t, EventKind::Deliver { from: pid, to, msg: m });
+            }
+        }
+        for (delay, id) in timers {
+            self.push(self.now + delay.max(1), EventKind::Timer { pid, id });
+        }
+    }
+
+    /// Deliver `msg` to `pid` as a command from the environment, after the
+    /// usual channel delay (FIFO with respect to earlier commands to `pid`).
+    pub fn inject(&mut self, pid: ProcessId, msg: M) {
+        self.metrics.record_send(ENV, pid);
+        if let Some((t, m)) = self.channels.schedule(ENV, pid, self.now, msg, &mut self.rng) {
+            self.push(t, EventKind::Deliver { from: ENV, to: pid, msg: m });
+        }
+    }
+
+    /// Place `msgs` in the channel `(from, to)` as if they were already in
+    /// transit at time zero — the paper's "stale messages in transit"
+    /// corruption of channel contents.
+    pub fn preload_channel(&mut self, from: ProcessId, to: ProcessId, msgs: Vec<M>) {
+        for msg in msgs {
+            if let Some((t, m)) = self.channels.schedule(from, to, self.now, msg, &mut self.rng) {
+                self.push(t, EventKind::Deliver { from, to, msg: m });
+            }
+        }
+    }
+
+    /// Pause the channel `(from, to)` (messages buffer in order).
+    pub fn pause_channel(&mut self, from: ProcessId, to: ProcessId) {
+        self.channels.pause(from, to);
+    }
+
+    /// Pause every channel touching `pid` in both directions — a "slow
+    /// server" in the sense of the Theorem 1 proof.
+    pub fn pause_process_channels(&mut self, pid: ProcessId) {
+        for other in 0..self.procs.len() {
+            if other != pid {
+                self.channels.pause(pid, other);
+                self.channels.pause(other, pid);
+            }
+        }
+        self.channels.pause(ENV, pid);
+    }
+
+    /// Resume the channel, scheduling all held messages FIFO.
+    pub fn resume_channel(&mut self, from: ProcessId, to: ProcessId) {
+        for (t, msg) in self.channels.resume(from, to, self.now, &mut self.rng) {
+            self.push(t, EventKind::Deliver { from, to, msg });
+        }
+    }
+
+    /// Resume every channel touching `pid`.
+    pub fn resume_process_channels(&mut self, pid: ProcessId) {
+        for other in 0..self.procs.len() {
+            if other != pid {
+                self.resume_channel(pid, other);
+                self.resume_channel(other, pid);
+            }
+        }
+        self.resume_channel(ENV, pid);
+    }
+
+    /// Partition the network: every channel between a process in `side_a`
+    /// and one in `side_b` (both directions) is paused. Messages buffer in
+    /// FIFO order and flow again on [`Simulation::heal`] — a partition in
+    /// this model is a (possibly long) transient delay, which the paper's
+    /// reliable-channel assumption permits.
+    pub fn partition(&mut self, side_a: &[ProcessId], side_b: &[ProcessId]) {
+        for &a in side_a {
+            for &b in side_b {
+                self.channels.pause(a, b);
+                self.channels.pause(b, a);
+            }
+        }
+    }
+
+    /// Heal a partition created with [`Simulation::partition`]: resume all
+    /// cross-side channels, releasing buffered messages in order.
+    pub fn heal(&mut self, side_a: &[ProcessId], side_b: &[ProcessId]) {
+        for &a in side_a {
+            for &b in side_b {
+                self.resume_channel(a, b);
+                self.resume_channel(b, a);
+            }
+        }
+    }
+
+    /// Crash `pid`: all future deliveries to it are dropped silently.
+    pub fn crash(&mut self, pid: ProcessId) {
+        self.crashed[pid] = true;
+    }
+
+    /// Whether `pid` has crashed.
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.crashed[pid]
+    }
+
+    /// Apply a transient fault to `pid`'s local state (delegates to the
+    /// automaton's [`Automaton::corrupt`]).
+    pub fn corrupt_process(&mut self, pid: ProcessId) {
+        self.procs[pid].corrupt(&mut self.rng);
+    }
+
+    /// Execute a [`crate::corruption::FaultPlan`]: scramble the listed
+    /// process states and preload `gen`-produced garbage messages on the
+    /// listed channels — modelling the paper's arbitrary initial
+    /// configuration (corrupted memories *and* corrupted channel contents).
+    pub fn apply_fault(
+        &mut self,
+        plan: &crate::corruption::FaultPlan,
+        mut gen: impl FnMut(&mut StdRng) -> M,
+    ) {
+        for &pid in &plan.corrupt_processes {
+            if pid < self.procs.len() {
+                self.procs[pid].corrupt(&mut self.rng);
+            }
+        }
+        for &(from, to) in &plan.garbage_channels {
+            let msgs: Vec<M> = (0..plan.garbage_per_channel)
+                .map(|_| gen(&mut self.rng))
+                .collect();
+            self.preload_channel(from, to, msgs);
+        }
+    }
+
+    /// True when no events remain.
+    pub fn is_quiet(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Pending event count.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Process one event. Returns `None` when the queue is empty.
+    pub fn step(&mut self) -> Option<SimEvent<O>> {
+        self.start();
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.time >= self.now, "time must be monotone");
+        self.now = ev.time;
+        self.metrics.record_event();
+        match ev.kind {
+            EventKind::Deliver { from, to, msg } => {
+                if self.crashed[to] {
+                    self.metrics.record_drop();
+                    return Some(SimEvent { time: self.now, pid: to, outputs: Vec::new() });
+                }
+                self.metrics.record_delivery(from, to);
+                self.trace.record(self.now, from, to, || format!("{msg:?}"));
+                let outputs = self.dispatch(to, move |auto, ctx| auto.on_message(from, msg, ctx));
+                Some(SimEvent { time: self.now, pid: to, outputs })
+            }
+            EventKind::Timer { pid, id } => {
+                if self.crashed[pid] {
+                    return Some(SimEvent { time: self.now, pid, outputs: Vec::new() });
+                }
+                let outputs = self.dispatch(pid, move |auto, ctx| auto.on_timer(id, ctx));
+                Some(SimEvent { time: self.now, pid, outputs })
+            }
+        }
+    }
+
+    /// Run until the queue drains or `max_events` were processed; returns
+    /// all outputs as `(time, pid, output)` triples.
+    pub fn run_until_quiet(&mut self, max_events: u64) -> Vec<(u64, ProcessId, O)> {
+        let mut collected = Vec::new();
+        let mut n = 0;
+        while n < max_events {
+            match self.step() {
+                Some(ev) => {
+                    n += 1;
+                    for o in ev.outputs {
+                        collected.push((ev.time, ev.pid, o));
+                    }
+                }
+                None => break,
+            }
+        }
+        collected
+    }
+
+    /// Run until some output satisfies `pred` (returning it) or the budget
+    /// runs out / the queue drains (returning `None`).
+    pub fn run_until<F: FnMut(ProcessId, &O) -> bool>(
+        &mut self,
+        mut pred: F,
+        max_events: u64,
+    ) -> Option<(u64, ProcessId, O)> {
+        let mut n = 0;
+        while n < max_events {
+            let ev = self.step()?;
+            n += 1;
+            for o in ev.outputs {
+                if pred(ev.pid, &o) {
+                    return Some((ev.time, ev.pid, o));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong automaton: replies with n-1 until zero, then outputs.
+    struct PingPong;
+    impl Automaton<u32, u32> for PingPong {
+        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut Ctx<'_, u32, u32>) {
+            if msg == 0 {
+                ctx.output(0);
+            } else if from != ENV {
+                ctx.send(from, msg - 1);
+            } else {
+                // Kick off toward the other process (0 <-> 1).
+                ctx.send(1 - ctx.me, msg - 1);
+            }
+        }
+    }
+
+    fn two_pingpong(seed: u64) -> Simulation<u32, u32> {
+        let mut sim = Simulation::new(SimConfig::seeded(seed));
+        sim.add_process(Box::new(PingPong));
+        sim.add_process(Box::new(PingPong));
+        sim
+    }
+
+    #[test]
+    fn pingpong_terminates_with_output() {
+        let mut sim = two_pingpong(7);
+        sim.inject(0, 10);
+        let out = sim.run_until_quiet(10_000);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].2, 0);
+        assert_eq!(sim.metrics().messages_delivered, 11); // inject + 10 hops
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed| {
+            let mut sim = two_pingpong(seed);
+            sim.inject(0, 20);
+            sim.run_until_quiet(10_000);
+            (sim.now(), sim.metrics().messages_sent)
+        };
+        assert_eq!(run(3), run(3));
+        // Different seeds give different delays hence (almost surely)
+        // different finishing times.
+        assert_ne!(run(3).0, run(4).0);
+    }
+
+    #[test]
+    fn crash_drops_deliveries() {
+        let mut sim = two_pingpong(1);
+        sim.crash(1);
+        sim.inject(0, 5);
+        let out = sim.run_until_quiet(1_000);
+        assert!(out.is_empty());
+        assert!(sim.metrics().messages_dropped >= 1);
+    }
+
+    #[test]
+    fn pause_and_resume_steers_schedule() {
+        let mut sim = two_pingpong(1);
+        sim.pause_channel(0, 1);
+        sim.inject(0, 3); // 0 sends 2 to 1, but channel is held
+        let out = sim.run_until_quiet(1_000);
+        assert!(out.is_empty());
+        assert!(!sim.is_quiet() || sim.pending_events() == 0);
+        sim.resume_channel(0, 1);
+        let out = sim.run_until_quiet(1_000);
+        // 3 -> 2 -> 1 -> 0: the countdown reaches zero at process 1.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, 1);
+        assert!(sim.is_quiet());
+        assert!(sim.metrics().messages_delivered >= 3);
+    }
+
+    #[test]
+    fn run_until_finds_output() {
+        let mut sim = two_pingpong(9);
+        sim.inject(0, 6);
+        let hit = sim.run_until(|_, &o| o == 0, 10_000);
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn env_commands_are_fifo() {
+        struct Collect(Vec<u32>);
+        impl Automaton<u32, Vec<u32>> for Collect {
+            fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut Ctx<'_, u32, Vec<u32>>) {
+                self.0.push(msg);
+                if self.0.len() == 5 {
+                    ctx.output(self.0.clone());
+                }
+            }
+        }
+        let mut sim: Simulation<u32, Vec<u32>> =
+            Simulation::new(SimConfig::seeded(11).with_delay(DelayModel::uniform(1, 50)));
+        sim.add_process(Box::new(Collect(Vec::new())));
+        for i in 0..5 {
+            sim.inject(0, i);
+        }
+        let out = sim.run_until_quiet(100);
+        assert_eq!(out[0].2, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn preload_models_stale_in_transit_messages() {
+        let mut sim = two_pingpong(2);
+        sim.preload_channel(1, 0, vec![0, 0]);
+        let out = sim.run_until_quiet(100);
+        // Both stale messages trigger outputs at process 0.
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let mut sim: Simulation<u32, u32> =
+            Simulation::new(SimConfig::seeded(0).with_trace(16));
+        sim.add_process(Box::new(PingPong));
+        sim.add_process(Box::new(PingPong));
+        sim.inject(0, 2);
+        sim.run_until_quiet(100);
+        assert!(sim.trace().entries().count() > 0);
+    }
+}

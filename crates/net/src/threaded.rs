@@ -1,0 +1,236 @@
+//! Real-thread runtime: one OS thread per process, crossbeam FIFO channels.
+//!
+//! This substrate exists for experiment E9 (wall-clock throughput of the
+//! register under real parallelism) and to demonstrate that the sans-IO
+//! automata are substrate-independent. Each process owns an unbounded
+//! crossbeam channel as its inbox; since a crossbeam channel delivers any
+//! single producer's messages in send order, the per-pair FIFO property the
+//! protocol relies on holds. There is no global clock — `Ctx::now` carries
+//! a per-process event counter — and no determinism; correctness assertions
+//! belong on the simulator, throughput measurements here.
+//!
+//! **Limitation**: timers ([`Ctx::set_timer`]) are not supported on this
+//! substrate and are silently dropped. The register protocols are purely
+//! message-driven; the data-link protocol, which does use timers for
+//! retransmission, runs on the simulator.
+
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::process::{Automaton, Ctx, ProcessId, ENV};
+
+enum Ctl<M> {
+    Msg { from: ProcessId, msg: M },
+    Stop,
+}
+
+/// A running cluster of automata on OS threads.
+pub struct ThreadedCluster<M, O> {
+    inboxes: Vec<Sender<Ctl<M>>>,
+    outputs: Vec<Receiver<O>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<M, O> ThreadedCluster<M, O>
+where
+    M: Clone + Send + 'static,
+    O: Send + 'static,
+{
+    /// Spawn one thread per automaton. `seed` derives each thread's RNG.
+    pub fn spawn(procs: Vec<Box<dyn Automaton<M, O>>>, seed: u64) -> Self {
+        let n = procs.len();
+        let mut inbox_tx = Vec::with_capacity(n);
+        let mut inbox_rx = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Ctl<M>>();
+            inbox_tx.push(tx);
+            inbox_rx.push(rx);
+        }
+        let mut out_tx = Vec::with_capacity(n);
+        let mut out_rx = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<O>();
+            out_tx.push(tx);
+            out_rx.push(rx);
+        }
+
+        let mut handles = Vec::with_capacity(n);
+        let mut rxs = inbox_rx;
+        for (pid, mut auto) in procs.into_iter().enumerate() {
+            let rx = rxs.remove(0);
+            let peers = inbox_tx.clone();
+            let out = out_tx[pid].clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut tick: u64 = 0;
+                {
+                    let mut ctx = Ctx::new(pid, tick, &mut rng);
+                    auto.on_start(&mut ctx);
+                    flush(pid, ctx, &peers, &out);
+                }
+                while let Ok(ctl) = rx.recv() {
+                    tick += 1;
+                    match ctl {
+                        Ctl::Stop => return,
+                        Ctl::Msg { from, msg } => {
+                            let mut ctx = Ctx::new(pid, tick, &mut rng);
+                            auto.on_message(from, msg, &mut ctx);
+                            flush(pid, ctx, &peers, &out);
+                        }
+                    }
+                }
+            }));
+        }
+
+        Self { inboxes: inbox_tx, outputs: out_rx, handles }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// Whether the cluster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inboxes.is_empty()
+    }
+
+    /// Send a command to `pid` as the environment.
+    pub fn send(&self, pid: ProcessId, msg: M) {
+        let _ = self.inboxes[pid].send(Ctl::Msg { from: ENV, msg });
+    }
+
+    /// Block until `pid` emits an output, up to `timeout`.
+    pub fn recv_output(&self, pid: ProcessId, timeout: Duration) -> Option<O> {
+        self.outputs[pid].recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking output poll.
+    pub fn try_recv_output(&self, pid: ProcessId) -> Option<O> {
+        self.outputs[pid].try_recv().ok()
+    }
+
+    /// Send a command and wait for the next output from the same process —
+    /// the blocking client-operation shape used by examples and E9.
+    pub fn invoke_and_wait(&self, pid: ProcessId, msg: M, timeout: Duration) -> Option<O> {
+        self.send(pid, msg);
+        self.recv_output(pid, timeout)
+    }
+
+    /// Stop all threads and join them.
+    pub fn shutdown(mut self) {
+        for tx in &self.inboxes {
+            let _ = tx.send(Ctl::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn flush<M, O>(pid: ProcessId, ctx: Ctx<'_, M, O>, peers: &[Sender<Ctl<M>>], out: &Sender<O>) {
+    let Ctx { outbox, outputs, timers, .. } = ctx;
+    for (to, msg) in outbox {
+        if to < peers.len() {
+            let _ = peers[to].send(Ctl::Msg { from: pid, msg });
+        }
+    }
+    for o in outputs {
+        let _ = out.send(o);
+    }
+    debug_assert!(
+        timers.is_empty(),
+        "timers are unsupported on the threaded runtime (see module docs)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Default)]
+    struct Ping(u32);
+
+    struct Doubler;
+    impl Automaton<Ping, u32> for Doubler {
+        fn on_message(&mut self, from: ProcessId, msg: Ping, ctx: &mut Ctx<'_, Ping, u32>) {
+            if from == ENV {
+                ctx.send(1, msg); // forward to the worker
+            } else {
+                ctx.output(msg.0); // result came back
+            }
+        }
+    }
+
+    struct Worker;
+    impl Automaton<Ping, u32> for Worker {
+        fn on_message(&mut self, from: ProcessId, msg: Ping, ctx: &mut Ctx<'_, Ping, u32>) {
+            ctx.send(from, Ping(msg.0 * 2));
+        }
+    }
+
+    #[test]
+    fn round_trip_through_threads() {
+        let cluster: ThreadedCluster<Ping, u32> =
+            ThreadedCluster::spawn(vec![Box::new(Doubler), Box::new(Worker)], 1);
+        let out = cluster.invoke_and_wait(0, Ping(21), Duration::from_secs(5));
+        assert_eq!(out, Some(42));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn fifo_per_producer() {
+        struct Seq(Vec<u32>);
+        impl Automaton<Ping, Vec<u32>> for Seq {
+            fn on_message(&mut self, _from: ProcessId, msg: Ping, ctx: &mut Ctx<'_, Ping, Vec<u32>>) {
+                self.0.push(msg.0);
+                if self.0.len() == 100 {
+                    ctx.output(self.0.clone());
+                }
+            }
+        }
+        let cluster: ThreadedCluster<Ping, Vec<u32>> =
+            ThreadedCluster::spawn(vec![Box::new(Seq(Vec::new()))], 2);
+        for i in 0..100 {
+            cluster.send(0, Ping(i));
+        }
+        let got = cluster.recv_output(0, Duration::from_secs(5)).unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<u32>>());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let cluster: ThreadedCluster<Ping, u32> =
+            ThreadedCluster::spawn(vec![Box::new(Worker), Box::new(Worker)], 3);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn parallel_clients_all_served() {
+        // Many environment commands from multiple user threads; every one
+        // gets a response. Exercises MPMC sends into one inbox.
+        let cluster: ThreadedCluster<Ping, u32> =
+            ThreadedCluster::spawn(vec![Box::new(Doubler), Box::new(Worker)], 4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..25 {
+                        cluster.send(0, Ping(i));
+                    }
+                });
+            }
+        });
+        let mut got = 0;
+        while cluster.recv_output(0, Duration::from_millis(500)).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 100);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,104 @@
+//! Bounded execution trace for debugging adversarial schedules.
+//!
+//! Tracing is opt-in (capacity 0 disables it) and lazy: the message is only
+//! formatted when the trace is enabled, so the hot path pays one branch.
+
+use std::collections::VecDeque;
+
+use crate::process::ProcessId;
+
+/// One recorded delivery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual delivery time.
+    pub time: u64,
+    /// Sender (may be [`crate::process::ENV`]).
+    pub from: ProcessId,
+    /// Receiver.
+    pub to: ProcessId,
+    /// Debug rendering of the message.
+    pub msg: String,
+}
+
+/// A ring buffer of the most recent deliveries.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+}
+
+impl Trace {
+    /// A trace holding at most `capacity` entries (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, entries: VecDeque::with_capacity(capacity.min(1024)) }
+    }
+
+    /// Whether recording is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record a delivery; `render` is called only when enabled.
+    pub fn record(&mut self, time: u64, from: ProcessId, to: ProcessId, render: impl FnOnce() -> String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry { time, from, to, msg: render() });
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Render the trace as one line per delivery.
+    pub fn render(&self) -> String {
+        self.entries
+            .iter()
+            .map(|e| format!("t={:<6} {:>3} -> {:<3} {}", e.time, fmt_pid(e.from), fmt_pid(e.to), e.msg))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+fn fmt_pid(p: ProcessId) -> String {
+    if p == crate::process::ENV {
+        "env".to_string()
+    } else {
+        p.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(0);
+        t.record(1, 0, 1, || panic!("must not render when disabled"));
+        assert_eq!(t.entries().count(), 0);
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(2);
+        t.record(1, 0, 1, || "a".into());
+        t.record(2, 1, 0, || "b".into());
+        t.record(3, 0, 1, || "c".into());
+        let msgs: Vec<&str> = t.entries().map(|e| e.msg.as_str()).collect();
+        assert_eq!(msgs, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn render_includes_env() {
+        let mut t = Trace::new(4);
+        t.record(5, crate::process::ENV, 2, || "cmd".into());
+        assert!(t.render().contains("env"));
+        assert!(t.render().contains("cmd"));
+    }
+}

@@ -1,0 +1,127 @@
+//! The union WTsG (Figure 2a line 15).
+//!
+//! When a `read()` overlaps a burst of `write()`s, the *current* values held
+//! by correct servers may be split across several in-flight timestamps and
+//! no single node of the local graph reaches weight `2f+1`. The reader then
+//! widens its evidence: each server's `REPLY` also carries its `old_vals`
+//! sliding window (the last `n` writes it applied), and the union graph is
+//! built over current **and** historical testimonies. Lemma 7 (scenario 2)
+//! shows some recently-written value is then witnessed by `2f+1` servers as
+//! long as the write burst fits the history window (Assumption 2).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use sbft_labels::LabelingSystem;
+
+use crate::graph::{Witness, WtsGraph};
+
+/// One entry of a server's `old_vals` history as shipped in a `REPLY`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistoryEntry<V, T> {
+    /// The historical value.
+    pub value: V,
+    /// Its timestamp.
+    pub ts: T,
+}
+
+impl<V, T> HistoryEntry<V, T> {
+    /// Convenience constructor.
+    pub fn new(value: V, ts: T) -> Self {
+        Self { value, ts }
+    }
+}
+
+/// Build the union graph from, per server, its current `(value, ts)` pair
+/// and its reported history window.
+///
+/// A server witnesses a node if the pair appears *anywhere* in its
+/// testimony; per-server deduplication is inherent (witness sets), so a
+/// server repeating a pair in both its current value and its history still
+/// counts once.
+pub fn build_union<V, T, S>(
+    sys: &S,
+    current: impl IntoIterator<Item = Witness<V, T>>,
+    histories: impl IntoIterator<Item = (usize, Vec<HistoryEntry<V, T>>)>,
+) -> WtsGraph<V, T>
+where
+    V: Clone + Eq + Ord + Hash + Debug,
+    T: Clone + Eq + Ord + Hash + Debug,
+    S: LabelingSystem<Label = T>,
+{
+    let mut all: Vec<Witness<V, T>> = current.into_iter().collect();
+    for (server, hist) in histories {
+        for (idx, h) in hist.into_iter().enumerate() {
+            // History position idx (most recent first) → recency idx + 1.
+            all.push(Witness::with_recency(server, h.value, h.ts, idx + 1));
+        }
+    }
+    WtsGraph::build(sys, all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbft_labels::UnboundedLabeling;
+
+    fn w(server: usize, value: &str, ts: u64) -> Witness<String, u64> {
+        Witness::new(server, value.to_string(), ts)
+    }
+
+    fn h(value: &str, ts: u64) -> HistoryEntry<String, u64> {
+        HistoryEntry::new(value.to_string(), ts)
+    }
+
+    #[test]
+    fn history_raises_weight_to_quorum() {
+        // Mid-write: servers 0-1 already adopted ("new", 2), servers 2-4
+        // still hold ("old", 1). Locally neither value reaches weight 5,
+        // but every early adopter still has "old" in its history.
+        let current = vec![
+            w(0, "new", 2),
+            w(1, "new", 2),
+            w(2, "old", 1),
+            w(3, "old", 1),
+            w(4, "old", 1),
+        ];
+        let histories = vec![
+            (0usize, vec![h("old", 1)]),
+            (1usize, vec![h("old", 1)]),
+        ];
+        let g = build_union(&UnboundedLabeling, current, histories);
+        let old = g
+            .nodes()
+            .iter()
+            .find(|n| n.value == "old" && n.ts == 1)
+            .unwrap();
+        assert_eq!(old.weight(), 5);
+    }
+
+    #[test]
+    fn same_pair_in_current_and_history_counts_once() {
+        let current = vec![w(0, "a", 1)];
+        let histories = vec![(0usize, vec![h("a", 1), h("a", 1)])];
+        let g = build_union(&UnboundedLabeling, current, histories);
+        assert_eq!(g.nodes()[0].weight(), 1);
+    }
+
+    #[test]
+    fn empty_histories_equal_local_graph() {
+        let current = vec![w(0, "a", 1), w(1, "b", 2)];
+        let g = build_union(&UnboundedLabeling, current.clone(), vec![]);
+        let local = WtsGraph::build(&UnboundedLabeling, current);
+        assert_eq!(g.node_count(), local.node_count());
+        assert_eq!(g.edge_count(), local.edge_count());
+    }
+
+    #[test]
+    fn history_from_byzantine_cannot_forge_quorum() {
+        // A single Byzantine server flooding its history with a forged pair
+        // still contributes weight 1 to that node.
+        let current = vec![w(0, "good", 3), w(1, "good", 3), w(2, "good", 3)];
+        let histories = vec![(4usize, vec![h("forged", 9), h("forged", 9), h("forged", 9)])];
+        let g = build_union(&UnboundedLabeling, current, histories);
+        let forged = g.nodes().iter().find(|n| n.value == "forged").unwrap();
+        assert_eq!(forged.weight(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for WTsG invariants under arbitrary witness multisets,
+//! including bounded (non-transitive) labels.
+
+use proptest::prelude::*;
+use sbft_labels::{BoundedLabel, BoundedLabeling, LabelingSystem, UnboundedLabeling};
+use sbft_wtsg::{build_union, select_return_value, HistoryEntry, Witness, WtsGraph};
+
+fn witnesses() -> impl Strategy<Value = Vec<Witness<u32, u64>>> {
+    proptest::collection::vec((0usize..10, 0u32..5, 0u64..6), 0..40)
+        .prop_map(|v| v.into_iter().map(|(s, val, ts)| Witness::new(s, val, ts)).collect())
+}
+
+fn bounded_witnesses(k: usize) -> impl Strategy<Value = Vec<Witness<u32, BoundedLabel>>> {
+    let sys = BoundedLabeling::new(k);
+    proptest::collection::vec(
+        (0usize..10, 0u32..5, any::<u32>(), proptest::collection::vec(any::<u32>(), 0..6)),
+        0..30,
+    )
+    .prop_map(move |v| {
+        v.into_iter()
+            .map(|(s, val, sting, anti)| {
+                Witness::new(s, val, sys.sanitize(BoundedLabel::new(sting, anti)))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Total weight equals the number of distinct (server, ts, value) triples.
+    #[test]
+    fn total_weight_counts_distinct_testimonies(ws in witnesses()) {
+        let g = WtsGraph::build(&UnboundedLabeling, ws.clone());
+        let mut distinct: Vec<(usize, u64, u32)> =
+            ws.iter().map(|w| (w.server, w.ts, w.value)).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(g.total_weight(), distinct.len());
+    }
+
+    /// Every edge respects precedence; no self edges.
+    #[test]
+    fn edges_sound(ws in bounded_witnesses(4)) {
+        let sys = BoundedLabeling::new(4);
+        let g = WtsGraph::build(&sys, ws);
+        for &(i, j) in g.edges() {
+            prop_assert_ne!(i, j);
+            prop_assert!(sys.precedes(&g.nodes()[i].ts, &g.nodes()[j].ts));
+        }
+        // Antisymmetry at the graph level: no 2-cycles.
+        for &(i, j) in g.edges() {
+            prop_assert!(!g.edges().contains(&(j, i)));
+        }
+    }
+
+    /// Selection is safe: the returned node really has >= threshold distinct
+    /// witnesses, and the result is deterministic.
+    #[test]
+    fn selection_sound_and_deterministic(ws in bounded_witnesses(3), thr in 1usize..6) {
+        let sys = BoundedLabeling::new(3);
+        let g = WtsGraph::build(&sys, ws.clone());
+        let a = select_return_value(&sys, &g, thr).map(|n| (n.ts.clone(), n.value));
+        let g2 = WtsGraph::build(&sys, ws);
+        let b = select_return_value(&sys, &g2, thr).map(|n| (n.ts.clone(), n.value));
+        prop_assert_eq!(a.clone(), b);
+        if let Some((ts, value)) = a {
+            let n = g.nodes().iter().find(|n| n.ts == ts && n.value == value).unwrap();
+            prop_assert!(n.weight() >= thr);
+        }
+    }
+
+    /// Union graph weights are pointwise >= local graph weights.
+    #[test]
+    fn union_dominates_local(
+        ws in witnesses(),
+        hist in proptest::collection::vec((0usize..10, 0u32..5, 0u64..6), 0..20),
+    ) {
+        let local = WtsGraph::build(&UnboundedLabeling, ws.clone());
+        let histories: Vec<(usize, Vec<HistoryEntry<u32, u64>>)> = hist
+            .into_iter()
+            .map(|(s, v, t)| (s, vec![HistoryEntry::new(v, t)]))
+            .collect();
+        let union = build_union(&UnboundedLabeling, ws, histories);
+        for n in local.nodes() {
+            let u = union
+                .nodes()
+                .iter()
+                .find(|m| m.ts == n.ts && m.value == n.value)
+                .expect("union must contain every local node");
+            prop_assert!(u.weight() >= n.weight());
+        }
+    }
+
+    /// f Byzantine servers can never push a forged pair to weight 2f+1 on
+    /// their own, in either graph.
+    #[test]
+    fn byzantine_weight_cap(f in 1usize..4, reps in 1usize..5) {
+        let sys = UnboundedLabeling;
+        // f distinct Byzantine servers each repeat a forged pair `reps` times.
+        let ws: Vec<Witness<u32, u64>> = (0..f)
+            .flat_map(|s| (0..reps).map(move |_| Witness::new(s, 999, 77)))
+            .collect();
+        let g = WtsGraph::build(&sys, ws);
+        prop_assert!(g.nodes()[0].weight() <= f);
+        prop_assert!(g.nodes()[0].weight() < 2 * f + 1);
+    }
+}

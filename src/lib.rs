@@ -1,0 +1,70 @@
+//! # sbft — Stabilizing Byzantine-Fault Tolerant Storage
+//!
+//! A full reproduction of Bonomi, Potop-Butucaru and Tixeuil,
+//! *Stabilizing Byzantine-Fault Tolerant Storage* (IPPS 2015): a
+//! multi-writer multi-reader **regular register** over asynchronous
+//! message passing that tolerates `f` Byzantine servers **and** arbitrary
+//! transient corruption of every process and channel, with **bounded**
+//! timestamps, for `n ≥ 5f + 1` servers.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`labels`] | `sbft-labels` | k-stabilizing bounded labeling system, unbounded comparator, MWMR timestamps, read-label pool |
+//! | [`wtsg`] | `sbft-wtsg` | weighted timestamp graphs (local + union) and return-value selection |
+//! | [`net`] | `sbft-net` | deterministic discrete-event simulator, fault injection, threaded runtime |
+//! | [`datalink`] | `sbft-datalink` | stabilizing data-link over lossy non-FIFO channels (the FIFO assumption, constructively) |
+//! | [`register`] | `sbft-core` | the register protocol: servers, clients, adversaries, spec checker, cluster driver |
+//! | [`baseline`] | `sbft-baseline` | classical comparators: KLMW 3f+1 (unbounded ts), Malkhi–Reiter safe 5f, crash-only ABD |
+//! | [`kv`] | `sbft-kv` | keyed object store multiplexing registers over one server pool |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sbft::register::cluster::RegisterCluster;
+//!
+//! // n = 6 servers tolerate f = 1 Byzantine server.
+//! let mut cluster = RegisterCluster::bounded(1).seed(42).build();
+//! let writer = cluster.client(0);
+//! let reader = cluster.client(1);
+//!
+//! cluster.write(writer, 7).expect("writes terminate (Lemma 1)");
+//! let got = cluster.read(reader).expect("reads terminate (Lemma 6)");
+//! assert_eq!(got.value, 7);
+//!
+//! // The recorded history satisfies MWMR regularity.
+//! assert!(cluster.check_history().is_ok());
+//! ```
+//!
+//! ## Surviving a transient fault
+//!
+//! ```
+//! use sbft::net::CorruptionSeverity;
+//! use sbft::register::cluster::RegisterCluster;
+//!
+//! let mut cluster = RegisterCluster::bounded(1).seed(7).build();
+//! let (w, r) = (cluster.client(0), cluster.client(1));
+//! cluster.write(w, 1).unwrap();
+//!
+//! // Scramble every server, every client, and every channel.
+//! cluster.corrupt_everything(CorruptionSeverity::Adversarial);
+//!
+//! // Assumption 1: the first post-fault write runs to completion —
+//! // and from then on the execution satisfies the register spec.
+//! cluster.write(w, 2).unwrap();
+//! let stable_from = cluster.now();
+//! let got = cluster.read(r).unwrap();
+//! assert_eq!(got.value, 2);
+//! assert!(cluster.check_history_from(stable_from).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sbft_baseline as baseline;
+pub use sbft_core as register;
+pub use sbft_datalink as datalink;
+pub use sbft_kv as kv;
+pub use sbft_labels as labels;
+pub use sbft_net as net;
+pub use sbft_wtsg as wtsg;

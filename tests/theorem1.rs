@@ -1,0 +1,33 @@
+//! Integration test for the Theorem 1 lower bound (experiment E1): the
+//! scripted adversarial execution violates regularity for every choice of
+//! slow server at `n = 5f`, and never at `n = 5f + 1`.
+
+use sbft_bench::e1_lower_bound::scripted_run;
+
+#[test]
+fn theorem1_execution_violates_at_5f() {
+    for slow in 0..3 {
+        for seed in [7u64, 11, 13] {
+            let run = scripted_run(5, slow, seed);
+            assert!(
+                run.violated,
+                "slow={slow} seed={seed}: the proof schedule must violate at n = 5f"
+            );
+            assert_eq!(run.read_value, Some(999), "the corrupted value leaks");
+        }
+    }
+}
+
+#[test]
+fn extra_server_neutralizes_the_adversary() {
+    for slow in 0..4 {
+        for seed in [7u64, 11, 13] {
+            let run = scripted_run(6, slow, seed);
+            assert!(
+                !run.violated,
+                "slow={slow} seed={seed}: n = 5f + 1 must absorb the Theorem 1 adversary"
+            );
+            assert_eq!(run.read_value, Some(2), "the last written value is returned");
+        }
+    }
+}
