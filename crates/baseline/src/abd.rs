@@ -119,8 +119,11 @@ impl Automaton<BMsg, BEvent> for AbdClient {
                             let seen: Vec<UTs> = got.values().cloned().collect();
                             let new_ts = self.sys.next_for(self.writer_id, &seen);
                             let value = *value;
-                            self.phase =
-                                Phase::WaitAcks { value, ts: new_ts.clone(), acked: BTreeMap::new() };
+                            self.phase = Phase::WaitAcks {
+                                value,
+                                ts: new_ts.clone(),
+                                acked: BTreeMap::new(),
+                            };
                             ctx.broadcast(0..self.n, Msg::Write { value, ts: new_ts });
                         }
                     }
@@ -182,8 +185,11 @@ impl AbdCluster {
     /// `n = 2f + 1` servers, `clients` clients.
     pub fn new(f: usize, clients: usize, seed: u64) -> Self {
         let n = 2 * f + 1;
-        let mut sim: Simulation<BMsg, BEvent> =
-            Simulation::new(SimConfig { seed, delay: DelayModel::uniform(1, 10), trace_capacity: 0 });
+        let mut sim: Simulation<BMsg, BEvent> = Simulation::new(SimConfig {
+            seed,
+            delay: DelayModel::uniform(1, 10),
+            trace_capacity: 0,
+        });
         for _ in 0..n {
             sim.add_process(Box::new(AbdServer::new()));
         }

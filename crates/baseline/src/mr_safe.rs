@@ -192,8 +192,11 @@ impl MrCluster {
     /// (client 0 is the distinguished writer).
     pub fn new(f: usize, clients: usize, seed: u64) -> Self {
         let n = 5 * f;
-        let mut sim: Simulation<BMsg, BEvent> =
-            Simulation::new(SimConfig { seed, delay: DelayModel::uniform(1, 10), trace_capacity: 0 });
+        let mut sim: Simulation<BMsg, BEvent> = Simulation::new(SimConfig {
+            seed,
+            delay: DelayModel::uniform(1, 10),
+            trace_capacity: 0,
+        });
         for _ in 0..n {
             sim.add_process(Box::new(MrServer::new()));
         }
@@ -227,8 +230,7 @@ impl MrCluster {
 
     /// Blocking write (client 0 is the writer).
     pub fn write(&mut self, client: ProcessId, value: Value) -> Option<UTs> {
-        self.recorder
-            .begin_with_intent(client, OpKind::Write, self.sim.now() + 1, Some(value));
+        self.recorder.begin_with_intent(client, OpKind::Write, self.sim.now() + 1, Some(value));
         self.sim.inject(client, Msg::InvokeWrite { value });
         match self.await_client(client)? {
             ClientEvent::WriteDone { ts, .. } => Some(ts),
@@ -260,9 +262,8 @@ pub fn check_safety(rec: &HistoryRecorder<UnboundedLabeling>) -> Result<(), Vec<
     let mut bad = Vec::new();
     for (ri, r) in ops.iter().enumerate() {
         let Some(OpOutcome::ReadValue { value, .. }) = &r.outcome else { continue };
-        let overlaps_write = ops.iter().any(|w| {
-            w.kind == OpKind::Write && !w.precedes(r) && !r.precedes(w)
-        });
+        let overlaps_write =
+            ops.iter().any(|w| w.kind == OpKind::Write && !w.precedes(r) && !r.precedes(w));
         if overlaps_write {
             continue; // safe semantics: unconstrained
         }

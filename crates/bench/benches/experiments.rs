@@ -25,11 +25,9 @@ fn e4(crit: &mut Criterion) {
     let mut group = crit.benchmark_group("e4_stabilization");
     group.sample_size(10);
     for sev in [CorruptionSeverity::Light, CorruptionSeverity::Adversarial] {
-        group.bench_with_input(
-            BenchmarkId::new("recover", format!("{sev:?}")),
-            &sev,
-            |b, &sev| b.iter(|| e4_stabilization::run_severity(sev, 1, 2, 3)),
-        );
+        group.bench_with_input(BenchmarkId::new("recover", format!("{sev:?}")), &sev, |b, &sev| {
+            b.iter(|| e4_stabilization::run_severity(sev, 1, 2, 3))
+        });
     }
     group.finish();
 }

@@ -15,9 +15,8 @@ fn labels(crit: &mut Criterion) {
     for k in [7usize, 12, 22, 42] {
         let sys = BoundedLabeling::new(k);
         let mut rng = StdRng::seed_from_u64(1);
-        let seen: Vec<BoundedLabel> = (0..k)
-            .map(|_| sys.sanitize(sys.arbitrary(&mut rng)))
-            .collect();
+        let seen: Vec<BoundedLabel> =
+            (0..k).map(|_| sys.sanitize(sys.arbitrary(&mut rng))).collect();
         group.bench_with_input(BenchmarkId::new("next", k), &k, |b, _| {
             b.iter(|| sys.next(black_box(&seen)))
         });
@@ -32,9 +31,8 @@ fn labels(crit: &mut Criterion) {
     }
     // The unbounded comparator's next() for scale.
     let useen: Vec<u64> = (0..42).collect();
-    group.bench_function("unbounded_next", |b| {
-        b.iter(|| UnboundedLabeling.next(black_box(&useen)))
-    });
+    group
+        .bench_function("unbounded_next", |b| b.iter(|| UnboundedLabeling.next(black_box(&useen))));
     group.finish();
 }
 
@@ -45,13 +43,7 @@ fn wtsg(crit: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(2);
         // A realistic read quorum: n witnesses over ~3 versions + garbage.
         let witnesses: Vec<Witness<u64, BoundedLabel>> = (0..n)
-            .map(|s| {
-                Witness::new(
-                    s,
-                    (s % 3) as u64,
-                    sys.sanitize(sys.arbitrary(&mut rng)),
-                )
-            })
+            .map(|s| Witness::new(s, (s % 3) as u64, sys.sanitize(sys.arbitrary(&mut rng))))
             .collect();
         group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
             b.iter(|| WtsGraph::build(&sys, black_box(witnesses.clone())))

@@ -12,11 +12,8 @@ use sbft_bench::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
-    let arg = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let arg =
+        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
     let quick = arg == "quick";
     let want = |name: &str| arg == "all" || quick || arg == name;
 
@@ -63,6 +60,7 @@ fn main() {
     }
     if want("e10") {
         emit(e10_datalink::run(seeds, if quick { 20 } else { 50 }));
+        emit(e10_datalink::run_substrate(seeds.min(3), if quick { 8 } else { 16 }));
     }
     if want("e11") {
         emit(e11_byzantine_readers::run(seeds.min(5), ops.min(6)));
@@ -80,9 +78,7 @@ fn main() {
     }
 
     if !printed {
-        eprintln!(
-            "unknown experiment {arg:?}; use all | quick | e1..e13 | ablations [--csv]"
-        );
+        eprintln!("unknown experiment {arg:?}; use all | quick | e1..e13 | ablations [--csv]");
         std::process::exit(2);
     }
 }

@@ -54,11 +54,8 @@ pub fn run_cell(strategy: ByzReaderStrategy, seeds: u64, ops: u64) -> E11Cell {
         messages: 0,
     };
     for seed in 0..seeds {
-        let mut c = RegisterCluster::bounded(1)
-            .clients(2)
-            .hostile_client(strategy)
-            .seed(seed)
-            .build();
+        let mut c =
+            RegisterCluster::bounded(1).clients(2).hostile_client(strategy).seed(seed).build();
         let (w, r) = (c.client(0), c.client(1));
         for i in 0..ops {
             // Fresh hostile volley interleaved with every correct op.

@@ -9,6 +9,7 @@ use sbft_core::adversary::ByzStrategy;
 use sbft_core::cluster::RegisterCluster;
 use sbft_core::spec::{OpKind, OpRecord};
 use sbft_labels::BoundedLabeling;
+use sbft_net::Backend;
 
 use crate::table::{f1, pct, Table};
 
@@ -46,8 +47,22 @@ fn mean_latency(ops: &[OpRecord<BoundedLabeling>], kind: OpKind) -> f64 {
     }
 }
 
-/// Run one cell: `ops_per_seed` write+read pairs across `seeds` seeds.
+/// Run one cell: `ops_per_seed` write+read pairs across `seeds` seeds,
+/// on the simulator.
 pub fn run_cell(f: usize, strategy: Option<ByzStrategy>, seeds: u64, ops_per_seed: u64) -> E2Cell {
+    run_cell_on(Backend::Sim, f, strategy, seeds, ops_per_seed)
+}
+
+/// Run one cell on the chosen substrate backend. On [`Backend::Threaded`]
+/// latencies are in timer ticks rather than virtual time, but the
+/// termination property under test is identical.
+pub fn run_cell_on(
+    backend: Backend,
+    f: usize,
+    strategy: Option<ByzStrategy>,
+    seeds: u64,
+    ops_per_seed: u64,
+) -> E2Cell {
     let mut attempted = 0;
     let mut completed = 0;
     let mut wlat = 0.0;
@@ -55,11 +70,11 @@ pub fn run_cell(f: usize, strategy: Option<ByzStrategy>, seeds: u64, ops_per_see
     let mut msgs = 0.0;
     let mut cells = 0.0;
     for seed in 0..seeds {
-        let mut b = RegisterCluster::bounded(f).clients(2).seed(seed);
+        let mut b = RegisterCluster::bounded(f).clients(2).seed(seed).backend(backend);
         if let Some(s) = strategy {
             b = b.byzantine_tail(s);
         }
-        let mut c = b.build();
+        let mut c = b.build_any();
         let (w, r) = (c.client(0), c.client(1));
         for i in 0..ops_per_seed {
             attempted += 2;
@@ -96,9 +111,7 @@ pub fn run(seeds: u64, ops_per_seed: u64) -> Table {
     );
     for f in [1usize, 2, 3] {
         let strategies: Vec<Option<ByzStrategy>> = if f == 1 {
-            std::iter::once(None)
-                .chain(ByzStrategy::all().into_iter().map(Some))
-                .collect()
+            std::iter::once(None).chain(ByzStrategy::all().into_iter().map(Some)).collect()
         } else {
             vec![None, Some(ByzStrategy::Silent), Some(ByzStrategy::NackFlood)]
         };
@@ -115,6 +128,18 @@ pub fn run(seeds: u64, ops_per_seed: u64) -> Table {
             ]);
         }
     }
+    // Substrate cross-check: the same scenario on real threads (latencies
+    // are timer ticks there, so only completion/msgs compare directly).
+    let cell = run_cell_on(Backend::Threaded, 1, None, seeds.min(3), ops_per_seed.min(10));
+    t.row(vec![
+        cell.f.to_string(),
+        cell.n.to_string(),
+        "none [threads]".into(),
+        pct(cell.completed, cell.attempted),
+        f1(cell.write_latency),
+        f1(cell.read_latency),
+        f1(cell.msgs_per_op),
+    ]);
     t
 }
 
@@ -143,5 +168,12 @@ mod tests {
         let cell = run_cell(2, Some(ByzStrategy::Silent), 1, 2);
         assert_eq!(cell.completed, cell.attempted);
         assert_eq!(cell.n, 11);
+    }
+
+    #[test]
+    fn threaded_backend_terminates_with_metrics() {
+        let cell = run_cell_on(Backend::Threaded, 1, Some(ByzStrategy::Silent), 1, 3);
+        assert_eq!(cell.completed, cell.attempted, "{cell:?}");
+        assert!(cell.msgs_per_op > 0.0, "threaded NetMetrics must report traffic");
     }
 }

@@ -10,7 +10,7 @@
 //! and the number of regularity violations in the suffix (must be 0).
 
 use sbft_core::cluster::{OpError, RegisterCluster};
-use sbft_net::CorruptionSeverity;
+use sbft_net::{Backend, CorruptionSeverity};
 
 use crate::table::{pct, Table};
 
@@ -33,8 +33,26 @@ pub struct E4Cell {
     pub suffix_violations: usize,
 }
 
-/// Run the stabilization scenario for one severity.
-pub fn run_severity(severity: CorruptionSeverity, seeds: u64, pre_reads: u64, post_reads: u64) -> E4Cell {
+/// Run the stabilization scenario for one severity, on the simulator.
+pub fn run_severity(
+    severity: CorruptionSeverity,
+    seeds: u64,
+    pre_reads: u64,
+    post_reads: u64,
+) -> E4Cell {
+    run_severity_on(Backend::Sim, severity, seeds, pre_reads, post_reads)
+}
+
+/// Run the stabilization scenario on the chosen substrate backend — the
+/// threaded runtime injects the same [`sbft_net::corruption::FaultPlan`]
+/// through control messages to the worker threads.
+pub fn run_severity_on(
+    backend: Backend,
+    severity: CorruptionSeverity,
+    seeds: u64,
+    pre_reads: u64,
+    post_reads: u64,
+) -> E4Cell {
     let mut cell = E4Cell {
         severity,
         seeds: seeds as usize,
@@ -45,7 +63,7 @@ pub fn run_severity(severity: CorruptionSeverity, seeds: u64, pre_reads: u64, po
         suffix_violations: 0,
     };
     for seed in 0..seeds {
-        let mut c = RegisterCluster::bounded(1).clients(2).seed(seed).build();
+        let mut c = RegisterCluster::bounded(1).clients(2).seed(seed).backend(backend).build_any();
         let (w, r) = (c.client(0), c.client(1));
         // A little pre-fault history, then the transient fault.
         c.write(w, 1).expect("pre-fault write");
@@ -106,11 +124,9 @@ pub fn run(seeds: u64) -> Table {
             "suffix violations",
         ],
     );
-    for sev in [
-        CorruptionSeverity::Light,
-        CorruptionSeverity::Heavy,
-        CorruptionSeverity::Adversarial,
-    ] {
+    for sev in
+        [CorruptionSeverity::Light, CorruptionSeverity::Heavy, CorruptionSeverity::Adversarial]
+    {
         let c = run_severity(sev, seeds, 3, 6);
         t.row(vec![
             format!("{sev:?}"),
@@ -122,6 +138,17 @@ pub fn run(seeds: u64) -> Table {
             c.suffix_violations.to_string(),
         ]);
     }
+    // Substrate cross-check: the same transient fault on real threads.
+    let c = run_severity_on(Backend::Threaded, CorruptionSeverity::Heavy, seeds.min(2), 1, 3);
+    t.row(vec![
+        "Heavy [threads]".into(),
+        c.seeds.to_string(),
+        c.pre_aborts.to_string(),
+        c.pre_returns.to_string(),
+        pct(c.first_write_ok, c.seeds),
+        c.post_reads.to_string(),
+        c.suffix_violations.to_string(),
+    ]);
     t
 }
 
@@ -149,5 +176,12 @@ mod tests {
         // transitory read activity (abort or garbage return).
         let cell = run_severity(CorruptionSeverity::Heavy, 5, 3, 2);
         assert!(cell.pre_aborts + cell.pre_returns > 0);
+    }
+
+    #[test]
+    fn threaded_backend_stabilizes_after_corruption() {
+        let cell = run_severity_on(Backend::Threaded, CorruptionSeverity::Heavy, 1, 1, 3);
+        assert_eq!(cell.first_write_ok, 1, "{cell:?}");
+        assert_eq!(cell.suffix_violations, 0, "{cell:?}");
     }
 }

@@ -119,10 +119,7 @@ mod tests {
     fn labels_wrap_on_long_runs() {
         let c = run_cell(1, 60, 1);
         assert_eq!(c.writes, 60);
-        assert!(
-            c.distinct_ts < c.writes,
-            "a bounded label space must recycle timestamps: {c:?}"
-        );
+        assert!(c.distinct_ts < c.writes, "a bounded label space must recycle timestamps: {c:?}");
     }
 
     #[test]

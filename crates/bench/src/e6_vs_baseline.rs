@@ -94,8 +94,7 @@ pub fn run_unbounded(seeds: u64, writes: u64) -> E6Cell {
         let (w, r) = (c.client(0), c.client(1));
         c.write(w, 1).expect("pre-fault write");
         {
-            let srv: &mut Server<UnboundedLabeling> =
-                c.server_state(0).expect("honest server");
+            let srv: &mut Server<UnboundedLabeling> = c.server_state(0).expect("honest server");
             srv.value = 999;
             srv.ts = MwmrTimestamp::new(u64::MAX, u32::MAX);
         }
@@ -165,7 +164,8 @@ pub fn run(seeds: u64, writes: u64) -> Table {
         "E6 (Section I): recovery from a poisoned timestamp (f = 1)",
         &["protocol", "seeds", "writes done", "recovered runs", "recovery rate"],
     );
-    for cell in [run_bounded(seeds, writes), run_unbounded(seeds, writes), run_klmw(seeds, writes)] {
+    for cell in [run_bounded(seeds, writes), run_unbounded(seeds, writes), run_klmw(seeds, writes)]
+    {
         t.row(vec![
             cell.protocol.clone(),
             cell.seeds.to_string(),

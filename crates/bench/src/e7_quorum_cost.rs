@@ -136,12 +136,9 @@ pub fn run(ops: u64) -> Table {
         &["protocol", "f", "n", "msgs/op", "write lat", "read lat"],
     );
     for f in [1usize, 2, 3] {
-        for cell in [
-            run_ours(f, ops, 7),
-            run_klmw(f, ops, 7),
-            run_mr(f, ops, 7),
-            run_abd(f, ops, 7),
-        ] {
+        for cell in
+            [run_ours(f, ops, 7), run_klmw(f, ops, 7), run_mr(f, ops, 7), run_abd(f, ops, 7)]
+        {
             t.row(vec![
                 cell.protocol.clone(),
                 cell.f.to_string(),

@@ -49,15 +49,8 @@ pub fn run_cell(
     seeds: u64,
     opts: ReaderOptions,
 ) -> E8Cell {
-    let mut cell = E8Cell {
-        writers,
-        burst,
-        history_depth,
-        reads: 0,
-        via_union: 0,
-        aborts: 0,
-        violations: 0,
-    };
+    let mut cell =
+        E8Cell { writers, burst, history_depth, reads: 0, via_union: 0, aborts: 0, violations: 0 };
     for seed in 0..seeds {
         let cfg = ClusterConfig::stabilizing(1).history(history_depth);
         let mut c: RegisterCluster<BoundedLabeling> =
@@ -90,7 +83,8 @@ pub fn run_cell(
             let (time, pid) = (ev.time, ev.pid);
             for out in ev.outputs {
                 c.recorder.complete(pid, time, &out);
-                #[allow(clippy::needless_range_loop)] // wi is matched against pid, not just an index
+                #[allow(clippy::needless_range_loop)]
+                // wi is matched against pid, not just an index
                 for wi in 0..writers {
                     if pid == c.client(wi) && out.is_write_end() && left[wi] > 0 {
                         next_val += 1;
@@ -173,13 +167,8 @@ mod tests {
     #[test]
     fn union_disabled_is_strictly_weaker() {
         let with = run_cell(3, 10, 6, 4, ReaderOptions::default());
-        let without = run_cell(
-            3,
-            10,
-            6,
-            4,
-            ReaderOptions { use_union: false, ..Default::default() },
-        );
+        let without =
+            run_cell(3, 10, 6, 4, ReaderOptions { use_union: false, ..Default::default() });
         assert!(
             without.aborts > with.aborts,
             "union off must abort where union decided: {with:?} vs {without:?}"

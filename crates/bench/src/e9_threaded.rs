@@ -1,26 +1,22 @@
 //! **E9 — wall-clock throughput on real threads**: the sans-IO automata
-//! run unchanged on the crossbeam-channel runtime (one OS thread per
-//! server and per client). This experiment measures end-to-end operations
-//! per second as the number of concurrent clients grows — the
-//! "tokio-channels-fit" angle of the reproduction brief, realized with
-//! crossbeam (the approved offline crate).
+//! run unchanged on the threaded runtime (one OS thread per server and
+//! per client). This experiment measures end-to-end operations per second
+//! as the number of concurrent clients grows.
+//!
+//! E9 now rides the *shared* scenario driver: the same
+//! [`RegisterCluster`] used by every simulator experiment, assembled with
+//! [`build_threaded`](sbft_core::cluster::ClusterBuilder::build_threaded).
+//! Each round launches one operation per client concurrently
+//! ([`RegisterCluster::run_concurrent`]); the servers process them on
+//! their own OS threads, and the recorded history is checked for MWMR
+//! regularity exactly as in the simulator experiments.
 
 use std::time::{Duration, Instant};
 
-use sbft_core::client::Client;
-use sbft_core::config::ClusterConfig;
-use sbft_core::messages::{ClientEvent, Msg};
-use sbft_core::reader::ReaderOptions;
-use sbft_core::server::Server;
-use sbft_core::Ts;
-use sbft_labels::{BoundedLabeling, MwmrLabeling};
-use sbft_net::{Automaton, ThreadedCluster};
+use sbft_core::cluster::{Op, RegisterCluster};
+use sbft_net::NetMetrics;
 
 use crate::table::{f1, Table};
-
-type B = BoundedLabeling;
-type M = Msg<Ts<B>>;
-type E = ClientEvent<Ts<B>>;
 
 /// One clients-count measurement.
 #[derive(Clone, Debug)]
@@ -33,59 +29,39 @@ pub struct E9Cell {
     pub elapsed: Duration,
     /// Throughput.
     pub ops_per_sec: f64,
+    /// Network metrics of the run (threaded substrate).
+    pub metrics: NetMetrics,
 }
 
-/// Spawn a threaded cluster and drive `ops_per_client` alternating
-/// write/read operations from each client concurrently.
+/// Spawn a threaded cluster via the shared driver and run
+/// `ops_per_client` rounds of one concurrent operation per client
+/// (alternating write/read per client).
 pub fn run_cell(f: usize, clients: usize, ops_per_client: u64, seed: u64) -> E9Cell {
-    let cfg = ClusterConfig::stabilizing(f);
-    let sys = MwmrLabeling::new(BoundedLabeling::new(cfg.label_k()));
-    let mut procs: Vec<Box<dyn Automaton<M, E>>> = Vec::new();
-    for _ in 0..cfg.n {
-        procs.push(Box::new(Server::<B>::new(sys.clone(), cfg)));
-    }
-    for i in 0..clients {
-        let pid = cfg.client_pid(i);
-        procs.push(Box::new(Client::<B>::new(
-            sys.clone(),
-            cfg,
-            pid as u32,
-            ReaderOptions::default(),
-        )));
-    }
-    let cluster: ThreadedCluster<M, E> = ThreadedCluster::spawn(procs, seed);
-
+    let mut c = RegisterCluster::bounded(f).clients(clients).seed(seed).build_threaded();
     let start = Instant::now();
-    let completed: usize = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..clients)
+    let mut completed = 0usize;
+    for round in 0..ops_per_client {
+        let ops: Vec<(usize, Op)> = (0..clients)
             .map(|i| {
-                let cluster = &cluster;
-                let pid = cfg.client_pid(i);
-                s.spawn(move || {
-                    let mut done = 0usize;
-                    for op in 0..ops_per_client {
-                        let msg = if op % 2 == 0 {
-                            Msg::InvokeWrite { value: (i as u64) << 32 | op }
-                        } else {
-                            Msg::InvokeRead
-                        };
-                        if cluster.invoke_and_wait(pid, msg, Duration::from_secs(30)).is_some() {
-                            done += 1;
-                        }
-                    }
-                    done
-                })
+                let op = if (round + i as u64).is_multiple_of(2) {
+                    Op::Write((i as u64) << 32 | round)
+                } else {
+                    Op::Read
+                };
+                (i, op)
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).sum()
-    });
+        completed += c.run_concurrent(&ops).iter().flatten().count();
+    }
     let elapsed = start.elapsed();
-    cluster.shutdown();
+    let metrics = c.metrics();
+    c.stop();
     E9Cell {
         clients,
         ops: completed,
         elapsed,
         ops_per_sec: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        metrics,
     }
 }
 
@@ -93,7 +69,7 @@ pub fn run_cell(f: usize, clients: usize, ops_per_client: u64, seed: u64) -> E9C
 pub fn run(ops_per_client: u64) -> Table {
     let mut t = Table::new(
         "E9: wall-clock throughput on the threaded runtime (f = 1, n = 6)",
-        &["clients", "ops", "elapsed ms", "ops/sec"],
+        &["clients", "ops", "elapsed ms", "ops/sec", "msgs sent"],
     );
     for clients in [1usize, 2, 4, 8] {
         let c = run_cell(1, clients, ops_per_client, 1);
@@ -102,6 +78,7 @@ pub fn run(ops_per_client: u64) -> Table {
             c.ops.to_string(),
             format!("{}", c.elapsed.as_millis()),
             f1(c.ops_per_sec),
+            c.metrics.messages_sent.to_string(),
         ]);
     }
     t
@@ -116,6 +93,7 @@ mod tests {
         let c = run_cell(1, 2, 10, 3);
         assert_eq!(c.ops, 20, "{c:?}");
         assert!(c.ops_per_sec > 0.0);
+        assert!(c.metrics.messages_sent > 0);
     }
 
     #[test]

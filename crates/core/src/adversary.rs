@@ -207,13 +207,9 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for ByzServer<
                 Msg::Read { label } => {
                     // Testify one write behind: the previous pair, with
                     // a history that also lags, maximizing split quorums.
-                    let (value, ts) = self
-                        .old_vals
-                        .first()
-                        .cloned()
-                        .unwrap_or((self.value, self.ts.clone()));
-                    let old: Vec<ValTs<Ts<B>>> =
-                        self.old_vals.iter().skip(1).cloned().collect();
+                    let (value, ts) =
+                        self.old_vals.first().cloned().unwrap_or((self.value, self.ts.clone()));
+                    let old: Vec<ValTs<Ts<B>>> = self.old_vals.iter().skip(1).cloned().collect();
                     ctx.send(from, Msg::Reply { value, ts, old, label });
                 }
                 Msg::Flush { label } => ctx.send(from, Msg::FlushAck { label }),

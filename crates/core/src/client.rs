@@ -289,9 +289,8 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for Client<B> 
 
     fn corrupt(&mut self, rng: &mut StdRng) {
         // Scramble the recent_labels matrix with arbitrary bits.
-        let bits: Vec<bool> = (0..self.cfg.n * self.cfg.read_labels)
-            .map(|_| rng.gen::<bool>())
-            .collect();
+        let bits: Vec<bool> =
+            (0..self.cfg.n * self.cfg.read_labels).map(|_| rng.gen::<bool>()).collect();
         self.pool.corrupt_with(bits.into_iter());
         // Poison cached recent values with garbage pairs.
         self.recent_vals.clear();
@@ -407,10 +406,7 @@ mod tests {
             }
         }
         assert_eq!(events.len(), 1);
-        assert!(matches!(
-            events[0],
-            ClientEvent::ReadDone { value: 9, via_union: false, .. }
-        ));
+        assert!(matches!(events[0], ClientEvent::ReadDone { value: 9, via_union: false, .. }));
         assert_eq!(c.reads_done, 1);
     }
 

@@ -1,6 +1,12 @@
-//! One-call assembly of a simulated register cluster, with blocking-style
-//! operation helpers and integrated history recording — the scenario driver
-//! shared by tests, examples, benches and the experiment harness.
+//! One-call assembly of a register cluster, with blocking-style operation
+//! helpers and integrated history recording — the scenario driver shared by
+//! tests, examples, benches and the experiment harness.
+//!
+//! The driver is generic over the [`Substrate`] hosting the automata: the
+//! default is the deterministic [`Simulation`] (all correctness work), and
+//! the same scenarios run on the [`ThreadedCluster`] via
+//! [`ClusterBuilder::build_threaded`], or on a runtime-chosen backend via
+//! [`ClusterBuilder::backend`] + [`ClusterBuilder::build_any`].
 //!
 //! ```
 //! use sbft_core::cluster::RegisterCluster;
@@ -16,7 +22,10 @@ use std::collections::BTreeMap;
 
 use sbft_labels::{BoundedLabeling, LabelingSystem, MwmrLabeling, UnboundedLabeling};
 use sbft_net::corruption::FaultPlan;
-use sbft_net::{CorruptionSeverity, DelayModel, NetMetrics, ProcessId, SimConfig, Simulation};
+use sbft_net::substrate::{AnySubstrate, Backend, Pumped, Substrate, SubstrateConfig};
+use sbft_net::{
+    Automaton, CorruptionSeverity, DelayModel, NetMetrics, ProcessId, Simulation, ThreadedCluster,
+};
 
 use crate::adversary::{random_message, ByzServer, ByzStrategy, ScriptedServer};
 use crate::byzclient::{ByzClient, ByzReaderStrategy};
@@ -27,6 +36,21 @@ use crate::reader::ReaderOptions;
 use crate::server::Server;
 use crate::spec::{HistoryRecorder, OpKind, RegularityError};
 use crate::{Sys, Ts};
+
+/// The simulator substrate type for a labeling system `B`.
+pub type SimSubstrate<B> = Simulation<Msg<Ts<B>>, ClientEvent<Ts<B>>>;
+/// The threaded substrate type for a labeling system `B`.
+pub type ThreadedSubstrate<B> = ThreadedCluster<Msg<Ts<B>>, ClientEvent<Ts<B>>>;
+/// The runtime-chosen substrate type for a labeling system `B`.
+pub type AnyRegisterSubstrate<B> = AnySubstrate<Msg<Ts<B>>, ClientEvent<Ts<B>>>;
+
+/// Boxed automata in pid order, ready to hand to a substrate.
+type RegisterProcs<B> = Vec<Box<dyn Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>>>>;
+
+/// Consecutive idle pumps (threaded runtime) before an operation is
+/// declared stuck. With the default pump timeout this bounds a blocking
+/// operation to a few wall-clock seconds.
+const MAX_IDLE_PUMPS: u32 = 50;
 
 /// Why a blocking operation helper failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,6 +94,7 @@ pub struct ClusterBuilder<B: LabelingSystem> {
     delay: DelayModel,
     trace: usize,
     reader_opts: ReaderOptions,
+    backend: Backend,
 }
 
 impl<B: LabelingSystem> ClusterBuilder<B> {
@@ -86,6 +111,7 @@ impl<B: LabelingSystem> ClusterBuilder<B> {
             delay: DelayModel::uniform(1, 10),
             trace: 0,
             reader_opts: ReaderOptions::default(),
+            backend: Backend::Sim,
         }
     }
 
@@ -131,13 +157,13 @@ impl<B: LabelingSystem> ClusterBuilder<B> {
         self
     }
 
-    /// Message delay model (default uniform 1..=10).
+    /// Message delay model (default uniform 1..=10; simulator only).
     pub fn delay(mut self, delay: DelayModel) -> Self {
         self.delay = delay;
         self
     }
 
-    /// Enable the simulator's debug trace.
+    /// Enable the substrate's debug trace.
     pub fn trace(mut self, capacity: usize) -> Self {
         self.trace = capacity;
         self
@@ -149,52 +175,83 @@ impl<B: LabelingSystem> ClusterBuilder<B> {
         self
     }
 
-    /// Assemble the cluster.
-    pub fn build(self) -> RegisterCluster<B> {
-        let sys: Sys<B> = MwmrLabeling::new(self.base.clone());
-        let sim_cfg = SimConfig { seed: self.seed, delay: self.delay, trace_capacity: self.trace };
-        let mut sim: Simulation<Msg<Ts<B>>, ClientEvent<Ts<B>>> = Simulation::new(sim_cfg);
+    /// Select the runtime used by [`ClusterBuilder::build_any`]
+    /// (default [`Backend::Sim`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
 
+    fn substrate_config(&self) -> SubstrateConfig {
+        SubstrateConfig::seeded(self.seed).with_delay(self.delay).with_trace(self.trace)
+    }
+
+    /// The automata, in pid order, plus the hostile clients' pids.
+    fn procs(&self) -> (RegisterProcs<B>, Vec<ProcessId>) {
+        let sys: Sys<B> = MwmrLabeling::new(self.base.clone());
+        let mut procs: RegisterProcs<B> = Vec::new();
         for s in 0..self.cfg.n {
             if self.scripted.contains(&s) {
-                sim.add_process(Box::new(ScriptedServer::<B>::new(sys.clone())));
+                procs.push(Box::new(ScriptedServer::<B>::new(sys.clone())));
             } else if let Some(&strategy) = self.byz.get(&s) {
-                sim.add_process(Box::new(ByzServer::new(sys.clone(), self.cfg, strategy)));
+                procs.push(Box::new(ByzServer::new(sys.clone(), self.cfg, strategy)));
             } else {
-                sim.add_process(Box::new(Server::new(sys.clone(), self.cfg)));
+                procs.push(Box::new(Server::new(sys.clone(), self.cfg)));
             }
         }
         for c in 0..self.n_clients {
             let pid = self.cfg.client_pid(c);
-            sim.add_process(Box::new(Client::new(
-                sys.clone(),
-                self.cfg,
-                pid as u32,
-                self.reader_opts,
-            )));
+            procs.push(Box::new(Client::new(sys.clone(), self.cfg, pid as u32, self.reader_opts)));
         }
         let mut hostile_pids = Vec::new();
         for strategy in &self.hostile_clients {
-            let pid = sim.add_process(Box::new(ByzClient::new(sys.clone(), self.cfg, *strategy)));
-            hostile_pids.push(pid);
+            hostile_pids.push(procs.len());
+            procs.push(Box::new(ByzClient::new(sys.clone(), self.cfg, *strategy)));
         }
+        (procs, hostile_pids)
+    }
 
+    fn assemble<S>(self, sim: S, hostile_pids: Vec<ProcessId>) -> RegisterCluster<B, S> {
         RegisterCluster {
             sim,
             cfg: self.cfg,
-            sys,
+            sys: MwmrLabeling::new(self.base.clone()),
             n_clients: self.n_clients,
             hostile_pids,
             recorder: HistoryRecorder::new(),
             op_budget: 400_000,
         }
     }
+
+    /// Assemble the cluster on the deterministic simulator.
+    pub fn build(self) -> RegisterCluster<B> {
+        let (procs, hostile_pids) = self.procs();
+        let sim = Simulation::from_procs(procs, &self.substrate_config());
+        self.assemble(sim, hostile_pids)
+    }
+
+    /// Assemble the cluster on the threaded runtime.
+    pub fn build_threaded(self) -> RegisterCluster<B, ThreadedSubstrate<B>> {
+        let (procs, hostile_pids) = self.procs();
+        let sub = ThreadedCluster::spawn_with(procs, &self.substrate_config());
+        self.assemble(sub, hostile_pids)
+    }
+
+    /// Assemble the cluster on the backend chosen with
+    /// [`ClusterBuilder::backend`].
+    pub fn build_any(self) -> RegisterCluster<B, AnyRegisterSubstrate<B>> {
+        let (procs, hostile_pids) = self.procs();
+        let sub = AnySubstrate::spawn(self.backend, procs, &self.substrate_config());
+        self.assemble(sub, hostile_pids)
+    }
 }
 
-/// A simulated register cluster: servers + clients + recorder.
-pub struct RegisterCluster<B: LabelingSystem> {
-    /// The underlying simulation (exposed for schedule steering).
-    pub sim: Simulation<Msg<Ts<B>>, ClientEvent<Ts<B>>>,
+/// A register cluster (servers + clients + recorder) on a substrate `S` —
+/// the simulator by default.
+pub struct RegisterCluster<B: LabelingSystem, S = SimSubstrate<B>> {
+    /// The underlying substrate (exposed for schedule steering when `S` is
+    /// the simulator).
+    pub sim: S,
     /// Cluster arithmetic.
     pub cfg: ClusterConfig,
     /// The MWMR labeling system in use.
@@ -203,7 +260,7 @@ pub struct RegisterCluster<B: LabelingSystem> {
     hostile_pids: Vec<ProcessId>,
     /// Operation history (public so experiments can inspect records).
     pub recorder: HistoryRecorder<B>,
-    /// Max simulator events per blocking operation.
+    /// Max substrate events per blocking operation.
     pub op_budget: u64,
 }
 
@@ -230,7 +287,11 @@ impl RegisterCluster<UnboundedLabeling> {
     }
 }
 
-impl<B: LabelingSystem> RegisterCluster<B> {
+impl<B, S> RegisterCluster<B, S>
+where
+    B: LabelingSystem,
+    S: Substrate<Msg<Ts<B>>, ClientEvent<Ts<B>>>,
+{
     /// Pid of the `i`-th client.
     pub fn client(&self, i: usize) -> ProcessId {
         assert!(i < self.n_clients, "client {i} not attached");
@@ -256,47 +317,71 @@ impl<B: LabelingSystem> RegisterCluster<B> {
         }
     }
 
-    /// Current virtual time.
+    /// Which backend the cluster runs on.
+    pub fn backend(&self) -> Backend {
+        self.sim.backend()
+    }
+
+    /// Current time: virtual (simulator) or elapsed ticks (threads).
     pub fn now(&self) -> u64 {
         self.sim.now()
     }
 
-    /// Network metrics so far.
-    pub fn metrics(&self) -> &NetMetrics {
-        self.sim.metrics()
+    /// Snapshot of the network metrics so far.
+    pub fn metrics(&self) -> NetMetrics {
+        self.sim.metrics_snapshot()
     }
 
-    /// Non-blocking: start a write on `client`. The invocation instant is
-    /// recorded as `now + 1`: the command reaches the client only after at
-    /// least one tick of channel delay, so an operation completing at time
-    /// `t` strictly precedes one invoked at the same driver step.
+    /// The instant to record for an operation invoked now. On the
+    /// simulator this is `now + 1`: the command reaches the client only
+    /// after at least one tick of channel delay, so an operation completing
+    /// at time `t` strictly precedes one invoked at the same driver step.
+    /// On wall-clock ticks the `+1` would claim the invocation happened
+    /// later than it did and manufacture false precedence edges, so the
+    /// threaded backend stamps `now` exactly — two stamps from the same
+    /// monotonic clock order soundly without adjustment.
+    fn invoke_time(&self) -> u64 {
+        match self.sim.backend() {
+            Backend::Sim => self.sim.now() + 1,
+            Backend::Threaded => self.sim.now(),
+        }
+    }
+
+    /// Non-blocking: start a write on `client`.
     pub fn invoke_write(&mut self, client: ProcessId, value: Value) {
-        self.recorder
-            .begin_with_intent(client, OpKind::Write, self.sim.now() + 1, Some(value));
+        self.recorder.begin_with_intent(client, OpKind::Write, self.invoke_time(), Some(value));
         self.sim.inject(client, Msg::InvokeWrite { value });
     }
 
     /// Non-blocking: start a read on `client` (timing as for writes).
     pub fn invoke_read(&mut self, client: ProcessId) {
-        self.recorder.begin(client, OpKind::Read, self.sim.now() + 1);
+        self.recorder.begin(client, OpKind::Read, self.invoke_time());
         self.sim.inject(client, Msg::InvokeRead);
     }
 
-    /// Pump the simulation until `client` emits a terminal event (recording
+    /// Pump the substrate until `client` emits a terminal event (recording
     /// every event from every client along the way).
     pub fn await_client(&mut self, client: ProcessId) -> Result<ClientEvent<Ts<B>>, OpError> {
         let mut budget = self.op_budget;
+        let mut idle = 0u32;
         while budget > 0 {
-            let Some(ev) = self.sim.step() else {
-                return Err(OpError::Stuck); // network drained, op incomplete
-            };
-            budget -= 1;
-            let time = ev.time;
-            let pid = ev.pid;
-            for out in ev.outputs {
-                self.recorder.complete(pid, time, &out);
-                if pid == client {
-                    return Ok(out);
+            match self.sim.pump() {
+                Pumped::Quiescent => return Err(OpError::Stuck),
+                Pumped::Idle => {
+                    idle += 1;
+                    if idle >= MAX_IDLE_PUMPS {
+                        return Err(OpError::Stuck);
+                    }
+                }
+                Pumped::Event { time, pid, outputs } => {
+                    idle = 0;
+                    budget -= 1;
+                    for out in outputs {
+                        self.recorder.complete(pid, time, &out);
+                        if pid == client {
+                            return Ok(out);
+                        }
+                    }
                 }
             }
         }
@@ -329,10 +414,7 @@ impl<B: LabelingSystem> RegisterCluster<B> {
         let mut pending: BTreeMap<ProcessId, usize> = BTreeMap::new();
         for (slot, &(ci, op)) in ops.iter().enumerate() {
             let pid = self.client(ci);
-            assert!(
-                pending.insert(pid, slot).is_none(),
-                "one concurrent op per client"
-            );
+            assert!(pending.insert(pid, slot).is_none(), "one concurrent op per client");
             match op {
                 Op::Write(v) => self.invoke_write(pid, v),
                 Op::Read => self.invoke_read(pid),
@@ -340,14 +422,25 @@ impl<B: LabelingSystem> RegisterCluster<B> {
         }
         let mut results: Vec<Option<ClientEvent<Ts<B>>>> = vec![None; ops.len()];
         let mut budget = self.op_budget;
+        let mut idle = 0u32;
         while !pending.is_empty() && budget > 0 {
-            let Some(ev) = self.sim.step() else { break };
-            budget -= 1;
-            let (time, pid) = (ev.time, ev.pid);
-            for out in ev.outputs {
-                self.recorder.complete(pid, time, &out);
-                if let Some(slot) = pending.remove(&pid) {
-                    results[slot] = Some(out);
+            match self.sim.pump() {
+                Pumped::Quiescent => break,
+                Pumped::Idle => {
+                    idle += 1;
+                    if idle >= MAX_IDLE_PUMPS {
+                        break;
+                    }
+                }
+                Pumped::Event { time, pid, outputs } => {
+                    idle = 0;
+                    budget -= 1;
+                    for out in outputs {
+                        self.recorder.complete(pid, time, &out);
+                        if let Some(slot) = pending.remove(&pid) {
+                            results[slot] = Some(out);
+                        }
+                    }
                 }
             }
         }
@@ -358,11 +451,14 @@ impl<B: LabelingSystem> RegisterCluster<B> {
     pub fn settle(&mut self, max_events: u64) {
         let mut budget = max_events;
         while budget > 0 {
-            let Some(ev) = self.sim.step() else { return };
-            budget -= 1;
-            let (time, pid) = (ev.time, ev.pid);
-            for out in ev.outputs {
-                self.recorder.complete(pid, time, &out);
+            match self.sim.pump() {
+                Pumped::Quiescent | Pumped::Idle => return,
+                Pumped::Event { time, pid, outputs } => {
+                    budget -= 1;
+                    for out in outputs {
+                        self.recorder.complete(pid, time, &out);
+                    }
+                }
             }
         }
     }
@@ -384,7 +480,14 @@ impl<B: LabelingSystem> RegisterCluster<B> {
     fn apply_plan(&mut self, plan: &FaultPlan) {
         let sys = self.sys.clone();
         let cfg = self.cfg;
-        self.sim.apply_fault(plan, move |rng| random_message::<B>(&sys, &cfg, rng));
+        let mut gen = move |rng: &mut rand::rngs::StdRng| random_message::<B>(&sys, &cfg, rng);
+        self.sim.apply_fault(plan, &mut gen);
+    }
+
+    /// Tear down the substrate (joins worker threads on the threaded
+    /// backend; no-op beyond queue draining on the simulator).
+    pub fn stop(&mut self) {
+        self.sim.stop();
     }
 
     /// Check the whole recorded history against MWMR regularity.
@@ -396,30 +499,25 @@ impl<B: LabelingSystem> RegisterCluster<B> {
     pub fn check_history_from(&self, t: u64) -> Result<(), Vec<RegularityError>> {
         self.recorder.check_from(&self.sys, t)
     }
+}
 
+/// Simulator-only surface: typed state inspection requires in-process
+/// access to the automata, which threads cannot share.
+impl<B: LabelingSystem> RegisterCluster<B, SimSubstrate<B>> {
     /// Typed access to an honest server's state (None for adversaries).
     pub fn server_state(&mut self, idx: usize) -> Option<&mut Server<B>> {
-        self.sim
-            .process_mut(idx)
-            .as_any_mut()?
-            .downcast_mut::<Server<B>>()
+        self.sim.process_mut(idx).as_any_mut()?.downcast_mut::<Server<B>>()
     }
 
     /// Typed access to a scripted server (None otherwise).
     pub fn scripted_server(&mut self, idx: usize) -> Option<&mut ScriptedServer<B>> {
-        self.sim
-            .process_mut(idx)
-            .as_any_mut()?
-            .downcast_mut::<ScriptedServer<B>>()
+        self.sim.process_mut(idx).as_any_mut()?.downcast_mut::<ScriptedServer<B>>()
     }
 
     /// Typed access to a client's state.
     pub fn client_state(&mut self, i: usize) -> Option<&mut Client<B>> {
         let pid = self.client(i);
-        self.sim
-            .process_mut(pid)
-            .as_any_mut()?
-            .downcast_mut::<Client<B>>()
+        self.sim.process_mut(pid).as_any_mut()?.downcast_mut::<Client<B>>()
     }
 
     /// Count of honest servers currently storing `(value, ts)` — the
@@ -428,9 +526,7 @@ impl<B: LabelingSystem> RegisterCluster<B> {
         let n = self.cfg.n;
         (0..n)
             .filter(|&s| {
-                self.server_state(s)
-                    .map(|srv| srv.value == value && &srv.ts == ts)
-                    .unwrap_or(false)
+                self.server_state(s).map(|srv| srv.value == value && &srv.ts == ts).unwrap_or(false)
             })
             .count()
     }
@@ -482,10 +578,8 @@ mod tests {
     #[test]
     fn works_with_each_byzantine_strategy() {
         for (i, strat) in ByzStrategy::all().into_iter().enumerate() {
-            let mut c = RegisterCluster::bounded(1)
-                .byzantine_tail(strat)
-                .seed(100 + i as u64)
-                .build();
+            let mut c =
+                RegisterCluster::bounded(1).byzantine_tail(strat).seed(100 + i as u64).build();
             let w = c.client(0);
             c.write(w, 7).unwrap_or_else(|e| panic!("write under {strat:?}: {e:?}"));
             let r = c.read(c.client(1)).unwrap_or_else(|e| panic!("read under {strat:?}: {e:?}"));
@@ -540,5 +634,49 @@ mod tests {
         let r = c.read(c.client(0)).unwrap();
         assert_eq!(r.value, 0);
         assert!(c.check_history().is_ok());
+    }
+
+    #[test]
+    fn threaded_backend_runs_the_same_scenario() {
+        let mut c = RegisterCluster::bounded(1).clients(2).seed(21).build_threaded();
+        assert_eq!(c.backend(), Backend::Threaded);
+        let (w, r) = (c.client(0), c.client(1));
+        for v in 1..=5 {
+            c.write(w, v).unwrap();
+        }
+        assert_eq!(c.read(r).unwrap().value, 5);
+        assert!(c.check_history().is_ok());
+        let m = c.metrics();
+        assert!(m.messages_sent > 0 && m.messages_delivered > 0, "{m:?}");
+        c.stop();
+    }
+
+    #[test]
+    fn backend_switch_selects_runtime() {
+        for backend in [Backend::Sim, Backend::Threaded] {
+            let mut c = RegisterCluster::bounded(1).seed(22).backend(backend).build_any();
+            assert_eq!(c.backend(), backend);
+            let w = c.client(0);
+            c.write(w, 77).unwrap();
+            assert_eq!(c.read(c.client(1)).unwrap().value, 77, "{backend:?}");
+            assert!(c.check_history().is_ok(), "{backend:?}");
+            c.stop();
+        }
+    }
+
+    #[test]
+    fn threaded_backend_recovers_from_corruption() {
+        let mut c = RegisterCluster::bounded(1).seed(23).build_threaded();
+        let w = c.client(0);
+        c.write(w, 1).unwrap();
+        c.corrupt_everything(CorruptionSeverity::Heavy);
+        // Assumption 1: first post-fault write completes; suffix regular.
+        c.write(w, 2).unwrap();
+        let t_stable = c.now();
+        for _ in 0..3 {
+            let _ = c.read(c.client(1));
+        }
+        assert!(c.check_history_from(t_stable).is_ok());
+        c.stop();
     }
 }

@@ -23,7 +23,9 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use sbft_labels::{LabelingSystem, ReadLabel};
 use sbft_net::ProcessId;
-use sbft_wtsg::{build_union, select_with_policy, HistoryEntry, SelectionPolicy, Witness, WtsGraph};
+use sbft_wtsg::{
+    build_union, select_with_policy, HistoryEntry, SelectionPolicy, Witness, WtsGraph,
+};
 
 use crate::config::ClusterConfig;
 use crate::messages::{ValTs, Value};
@@ -154,11 +156,8 @@ impl<B: LabelingSystem> ReadPhase<B> {
         recent_vals: &BTreeMap<ProcessId, Vec<ValTs<Ts<B>>>>,
     ) -> ReadDecision<B> {
         let threshold = cfg.witness_threshold();
-        let current: Vec<Witness<Value, Ts<B>>> = self
-            .replies
-            .iter()
-            .map(|(&s, (v, t))| Witness::new(s, *v, t.clone()))
-            .collect();
+        let current: Vec<Witness<Value, Ts<B>>> =
+            self.replies.iter().map(|(&s, (v, t))| Witness::new(s, *v, t.clone())).collect();
 
         let local = WtsGraph::build(sys, current.iter().cloned());
         if let Some(node) = select_with_policy(sys, &local, threshold, opts.policy) {

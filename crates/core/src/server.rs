@@ -150,9 +150,8 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for Server<B> 
         self.value = rng.gen();
         self.ts = self.sys.arbitrary(rng);
         let hist_len = rng.gen_range(0..=self.cfg.history_depth);
-        self.old_vals = (0..hist_len)
-            .map(|_| (rng.gen::<Value>(), self.sys.arbitrary(rng)))
-            .collect();
+        self.old_vals =
+            (0..hist_len).map(|_| (rng.gen::<Value>(), self.sys.arbitrary(rng))).collect();
         // Phantom running reads pointing at arbitrary clients/labels.
         self.running_read.clear();
         for _ in 0..rng.gen_range(0..4usize) {

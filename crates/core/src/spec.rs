@@ -167,10 +167,7 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
 
     /// Number of reads that completed with an abort.
     pub fn aborted_reads(&self) -> usize {
-        self.ops
-            .iter()
-            .filter(|o| matches!(o.outcome, Some(OpOutcome::ReadAbort)))
-            .count()
+        self.ops.iter().filter(|o| matches!(o.outcome, Some(OpOutcome::ReadAbort))).count()
     }
 
     /// Number of completed writes.
@@ -207,19 +204,25 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
 
     /// A terminal [`ClientEvent`] was observed from `client` at `now`;
     /// closes that client's open operation. Returns the op index.
-    pub fn complete(&mut self, client: ProcessId, now: u64, ev: &ClientEvent<Ts<B>>) -> Option<usize> {
+    pub fn complete(
+        &mut self,
+        client: ProcessId,
+        now: u64,
+        ev: &ClientEvent<Ts<B>>,
+    ) -> Option<usize> {
         let idx = self.open.remove(&client)?;
         let op = &mut self.ops[idx];
-        op.returned_at = Some(now);
+        // On the threaded substrate an operation can complete within the
+        // same wall-clock tick it was invoked in; clamp so records stay
+        // well-formed (returned_at >= invoked_at).
+        op.returned_at = Some(now.max(op.invoked_at));
         op.outcome = Some(match ev {
             ClientEvent::WriteDone { value, ts } => {
                 OpOutcome::Wrote { value: *value, ts: ts.clone() }
             }
-            ClientEvent::ReadDone { value, ts, via_union } => OpOutcome::ReadValue {
-                value: *value,
-                ts: ts.clone(),
-                via_union: *via_union,
-            },
+            ClientEvent::ReadDone { value, ts, via_union } => {
+                OpOutcome::ReadValue { value: *value, ts: ts.clone(), via_union: *via_union }
+            }
             ClientEvent::ReadAborted => OpOutcome::ReadAbort,
         });
         Some(idx)
@@ -399,12 +402,7 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
         inversions
     }
 
-    fn check_write_order(
-        &self,
-        sys: &Sys<B>,
-        from_time: u64,
-        errors: &mut Vec<RegularityError>,
-    ) {
+    fn check_write_order(&self, sys: &Sys<B>, from_time: u64, errors: &mut Vec<RegularityError>) {
         let suffix: Vec<usize> = self
             .ops
             .iter()
@@ -514,11 +512,7 @@ mod tests {
         let s = sys();
         let mut h = HistoryRecorder::<B>::new();
         h.begin(11, OpKind::Read, 0);
-        h.complete(
-            11,
-            5,
-            &ClientEvent::ReadDone { value: 0, ts: s.genesis(), via_union: false },
-        );
+        h.complete(11, 5, &ClientEvent::ReadDone { value: 0, ts: s.genesis(), via_union: false });
         assert!(h.check(&s).is_ok());
     }
 
@@ -531,16 +525,9 @@ mod tests {
         let (ev, _) = write_done(&s, 5, &g);
         h.complete(10, 10, &ev);
         h.begin(11, OpKind::Read, 20);
-        h.complete(
-            11,
-            30,
-            &ClientEvent::ReadDone { value: 0, ts: s.genesis(), via_union: false },
-        );
+        h.complete(11, 30, &ClientEvent::ReadDone { value: 0, ts: s.genesis(), via_union: false });
         let errs = h.check(&s).unwrap_err();
-        assert!(matches!(
-            errs[0],
-            RegularityError::StaleRead { write: usize::MAX, .. }
-        ));
+        assert!(matches!(errs[0], RegularityError::StaleRead { write: usize::MAX, .. }));
     }
 
     #[test]
@@ -548,11 +535,7 @@ mod tests {
         let s = sys();
         let mut h = HistoryRecorder::<B>::new();
         h.begin(11, OpKind::Read, 0);
-        h.complete(
-            11,
-            5,
-            &ClientEvent::ReadDone { value: 999, ts: s.genesis(), via_union: false },
-        );
+        h.complete(11, 5, &ClientEvent::ReadDone { value: 999, ts: s.genesis(), via_union: false });
         let errs = h.check(&s).unwrap_err();
         assert_eq!(errs[0], RegularityError::UnknownValue { read: 0, value: 999 });
     }
@@ -570,9 +553,7 @@ mod tests {
         h.begin(10, OpKind::Write, 20);
         h.complete(10, 30, &ClientEvent::WriteDone { value: 2, ts: ts1 });
         let errs = h.check(&s).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, RegularityError::WriteOrderInversion { .. })));
+        assert!(errs.iter().any(|e| matches!(e, RegularityError::WriteOrderInversion { .. })));
     }
 
     #[test]
@@ -581,11 +562,7 @@ mod tests {
         let mut h = HistoryRecorder::<B>::new();
         // Garbage read at t=5 (pre-suffix), clean behaviour after t=100.
         h.begin(11, OpKind::Read, 0);
-        h.complete(
-            11,
-            5,
-            &ClientEvent::ReadDone { value: 999, ts: s.genesis(), via_union: false },
-        );
+        h.complete(11, 5, &ClientEvent::ReadDone { value: 999, ts: s.genesis(), via_union: false });
         assert!(h.check(&s).is_err());
         assert!(h.check_from(&s, 100).is_ok());
     }

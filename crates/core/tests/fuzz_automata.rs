@@ -41,7 +41,7 @@ fn pick_msg(sys: &Sys<B>, cfg: &ClusterConfig, seed: u64) -> Msg<Ts<B>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     /// Servers: any input sequence keeps the history bounded and the
     /// stored timestamp well-formed (sanitize-idempotent) after writes.

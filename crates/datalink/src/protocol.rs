@@ -1,8 +1,8 @@
 //! Sender/receiver automata of the simplified stabilizing data-link.
 
-use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::collections::VecDeque;
 
 /// A data-link label. Labels cycle through the domain `0..2c+2`.
 pub type Label = u32;
@@ -133,11 +133,7 @@ impl DlReceiver {
         for slot in &mut self.count {
             *slot = rng.gen_range(0..=self.c);
         }
-        self.last = if rng.gen::<bool>() {
-            Some(rng.gen::<Label>() % self.domain)
-        } else {
-            None
-        };
+        self.last = if rng.gen::<bool>() { Some(rng.gen::<Label>() % self.domain) } else { None };
     }
 }
 

@@ -113,7 +113,12 @@ impl DatalinkSim {
     }
 
     /// Full E10 scenario: corrupt everything, transmit `payloads`, report.
-    pub fn converge_report(c: usize, seed: u64, payloads: &[u64], max_steps: u64) -> ConvergenceReport {
+    pub fn converge_report(
+        c: usize,
+        seed: u64,
+        payloads: &[u64],
+        max_steps: u64,
+    ) -> ConvergenceReport {
         let mut sim = DatalinkSim::new(c, seed);
         sim.corrupt_everything();
         for &p in payloads {

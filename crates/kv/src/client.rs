@@ -39,9 +39,7 @@ impl<B: LabelingSystem> KvClient<B> {
 
     fn client_for(&mut self, key: Key) -> &mut Client<B> {
         let (sys, cfg, wid, opts) = (self.sys.clone(), self.cfg, self.writer_id, self.opts);
-        self.per_key
-            .entry(key)
-            .or_insert_with(|| Client::new(sys, cfg, wid, opts))
+        self.per_key.entry(key).or_insert_with(|| Client::new(sys, cfg, wid, opts))
     }
 }
 

@@ -1,5 +1,10 @@
 //! The store driver: blocking `put`/`get` with per-key history recording.
 //!
+//! Like the register driver, the store is generic over the [`Substrate`]
+//! hosting the automata — the deterministic simulator by default, real
+//! threads via [`KvClusterBuilder::build_threaded`], or a runtime choice
+//! via [`KvClusterBuilder::backend`] + [`KvClusterBuilder::build_any`].
+//!
 //! ```
 //! use sbft_kv::KvCluster;
 //!
@@ -22,11 +27,27 @@ use sbft_core::spec::{HistoryRecorder, OpKind, RegularityError};
 use sbft_core::{Sys, Ts};
 use sbft_labels::{BoundedLabeling, LabelingSystem, MwmrLabeling};
 use sbft_net::corruption::FaultPlan;
-use sbft_net::{CorruptionSeverity, DelayModel, ProcessId, SimConfig, Simulation};
+use sbft_net::substrate::{AnySubstrate, Backend, Pumped, Substrate, SubstrateConfig};
+use sbft_net::{
+    Automaton, CorruptionSeverity, DelayModel, NetMetrics, ProcessId, Simulation, ThreadedCluster,
+};
 
 use crate::client::KvClient;
 use crate::messages::{Key, KvEvent, KvMsg};
 use crate::server::KvServer;
+
+/// The simulator substrate type for the store.
+pub type KvSimSubstrate<B> = Simulation<KvMsg<Ts<B>>, KvEvent<Ts<B>>>;
+/// The threaded substrate type for the store.
+pub type KvThreadedSubstrate<B> = ThreadedCluster<KvMsg<Ts<B>>, KvEvent<Ts<B>>>;
+/// The runtime-chosen substrate type for the store.
+pub type AnyKvSubstrate<B> = AnySubstrate<KvMsg<Ts<B>>, KvEvent<Ts<B>>>;
+
+/// Boxed automata in pid order, ready to hand to a substrate.
+type KvProcs<B> = Vec<Box<dyn Automaton<KvMsg<Ts<B>>, KvEvent<Ts<B>>>>>;
+
+/// Consecutive idle pumps (threaded runtime) before an op is stuck.
+const MAX_IDLE_PUMPS: u32 = 50;
 
 /// Why a store operation failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,12 +65,20 @@ pub struct KvClusterBuilder<B: LabelingSystem> {
     n_clients: usize,
     seed: u64,
     delay: DelayModel,
+    backend: Backend,
 }
 
 impl<B: LabelingSystem> KvClusterBuilder<B> {
     /// Start from a config and base labeling system.
     pub fn new(cfg: ClusterConfig, base: B) -> Self {
-        Self { cfg, base, n_clients: 2, seed: 0, delay: DelayModel::uniform(1, 10) }
+        Self {
+            cfg,
+            base,
+            n_clients: 2,
+            seed: 0,
+            delay: DelayModel::uniform(1, 10),
+            backend: Backend::Sim,
+        }
     }
 
     /// Number of clients (default 2).
@@ -64,47 +93,75 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
         self
     }
 
-    /// Delay model.
+    /// Delay model (simulator only).
     pub fn delay(mut self, delay: DelayModel) -> Self {
         self.delay = delay;
         self
     }
 
-    /// Assemble the store.
-    pub fn build(self) -> KvCluster<B> {
+    /// Select the runtime used by [`KvClusterBuilder::build_any`].
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    fn substrate_config(&self) -> SubstrateConfig {
+        SubstrateConfig::seeded(self.seed).with_delay(self.delay)
+    }
+
+    fn procs(&self) -> KvProcs<B> {
         let sys: Sys<B> = MwmrLabeling::new(self.base.clone());
-        let mut sim: Simulation<KvMsg<Ts<B>>, KvEvent<Ts<B>>> = Simulation::new(SimConfig {
-            seed: self.seed,
-            delay: self.delay,
-            trace_capacity: 0,
-        });
+        let mut procs: KvProcs<B> = Vec::new();
         for _ in 0..self.cfg.n {
-            sim.add_process(Box::new(KvServer::new(sys.clone(), self.cfg)));
+            procs.push(Box::new(KvServer::new(sys.clone(), self.cfg)));
         }
         for c in 0..self.n_clients {
             let pid = self.cfg.client_pid(c);
-            sim.add_process(Box::new(KvClient::new(
+            procs.push(Box::new(KvClient::new(
                 sys.clone(),
                 self.cfg,
                 pid as u32,
                 ReaderOptions::default(),
             )));
         }
+        procs
+    }
+
+    fn assemble<S>(self, sim: S) -> KvCluster<B, S> {
         KvCluster {
             sim,
             cfg: self.cfg,
-            sys,
+            sys: MwmrLabeling::new(self.base.clone()),
             n_clients: self.n_clients,
             recorders: BTreeMap::new(),
             op_budget: 400_000,
         }
     }
+
+    /// Assemble the store on the deterministic simulator.
+    pub fn build(self) -> KvCluster<B> {
+        let sim = Simulation::from_procs(self.procs(), &self.substrate_config());
+        self.assemble(sim)
+    }
+
+    /// Assemble the store on the threaded runtime.
+    pub fn build_threaded(self) -> KvCluster<B, KvThreadedSubstrate<B>> {
+        let sub = ThreadedCluster::spawn_with(self.procs(), &self.substrate_config());
+        self.assemble(sub)
+    }
+
+    /// Assemble the store on the backend chosen with
+    /// [`KvClusterBuilder::backend`].
+    pub fn build_any(self) -> KvCluster<B, AnyKvSubstrate<B>> {
+        let sub = AnySubstrate::spawn(self.backend, self.procs(), &self.substrate_config());
+        self.assemble(sub)
+    }
 }
 
-/// A simulated key-value store.
-pub struct KvCluster<B: LabelingSystem> {
-    /// Underlying simulation.
-    pub sim: Simulation<KvMsg<Ts<B>>, KvEvent<Ts<B>>>,
+/// A key-value store on a substrate `S` — the simulator by default.
+pub struct KvCluster<B: LabelingSystem, S = KvSimSubstrate<B>> {
+    /// Underlying substrate.
+    pub sim: S,
     /// Cluster arithmetic.
     pub cfg: ClusterConfig,
     /// The labeling system.
@@ -124,11 +181,25 @@ impl KvCluster<BoundedLabeling> {
     }
 }
 
-impl<B: LabelingSystem> KvCluster<B> {
+impl<B, S> KvCluster<B, S>
+where
+    B: LabelingSystem,
+    S: Substrate<KvMsg<Ts<B>>, KvEvent<Ts<B>>>,
+{
     /// Pid of client `i`.
     pub fn client(&self, i: usize) -> ProcessId {
         assert!(i < self.n_clients);
         self.cfg.client_pid(i)
+    }
+
+    /// Which backend the store runs on.
+    pub fn backend(&self) -> Backend {
+        self.sim.backend()
+    }
+
+    /// Snapshot of the network metrics so far.
+    pub fn metrics(&self) -> NetMetrics {
+        self.sim.metrics_snapshot()
     }
 
     fn recorder(&mut self, key: Key) -> &mut HistoryRecorder<B> {
@@ -137,27 +208,47 @@ impl<B: LabelingSystem> KvCluster<B> {
 
     fn await_client(&mut self, client: ProcessId) -> Result<KvEvent<Ts<B>>, KvError> {
         let mut budget = self.op_budget;
+        let mut idle = 0u32;
         while budget > 0 {
-            let Some(ev) = self.sim.step() else { return Err(KvError::Stuck) };
-            budget -= 1;
-            let (time, pid) = (ev.time, ev.pid);
-            for out in ev.outputs {
-                self.recorder(out.key).complete(pid, time, &out.inner);
-                if pid == client {
-                    return Ok(out);
+            match self.sim.pump() {
+                Pumped::Quiescent => return Err(KvError::Stuck),
+                Pumped::Idle => {
+                    idle += 1;
+                    if idle >= MAX_IDLE_PUMPS {
+                        return Err(KvError::Stuck);
+                    }
+                }
+                Pumped::Event { time, pid, outputs } => {
+                    idle = 0;
+                    budget -= 1;
+                    for out in outputs {
+                        self.recorder(out.key).complete(pid, time, &out.inner);
+                        if pid == client {
+                            return Ok(out);
+                        }
+                    }
                 }
             }
         }
         Err(KvError::Stuck)
     }
 
+    /// The instant to record for an operation invoked now: `now + 1` on
+    /// the simulator (commands arrive after one tick of channel delay),
+    /// `now` exactly on wall-clock ticks where the `+1` would manufacture
+    /// false precedence edges.
+    fn invoke_time(&self) -> u64 {
+        match self.sim.backend() {
+            Backend::Sim => self.sim.now() + 1,
+            Backend::Threaded => self.sim.now(),
+        }
+    }
+
     /// Blocking `put(key, value)`.
     pub fn put(&mut self, client: ProcessId, key: Key, value: Value) -> Result<Ts<B>, KvError> {
-        let now = self.sim.now() + 1;
-        self.recorder(key)
-            .begin_with_intent(client, OpKind::Write, now, Some(value));
-        self.sim
-            .inject(client, KvMsg::new(key, sbft_core::messages::Msg::InvokeWrite { value }));
+        let now = self.invoke_time();
+        self.recorder(key).begin_with_intent(client, OpKind::Write, now, Some(value));
+        self.sim.inject(client, KvMsg::new(key, sbft_core::messages::Msg::InvokeWrite { value }));
         match self.await_client(client)? {
             KvEvent { inner: ClientEvent::WriteDone { ts, .. }, .. } => Ok(ts),
             _ => Err(KvError::Stuck),
@@ -166,10 +257,9 @@ impl<B: LabelingSystem> KvCluster<B> {
 
     /// Blocking `get(key)`.
     pub fn get(&mut self, client: ProcessId, key: Key) -> Result<Value, KvError> {
-        let now = self.sim.now() + 1;
+        let now = self.invoke_time();
         self.recorder(key).begin(client, OpKind::Read, now);
-        self.sim
-            .inject(client, KvMsg::new(key, sbft_core::messages::Msg::InvokeRead));
+        self.sim.inject(client, KvMsg::new(key, sbft_core::messages::Msg::InvokeRead));
         match self.await_client(client)? {
             KvEvent { inner: ClientEvent::ReadDone { value, .. }, .. } => Ok(value),
             KvEvent { inner: ClientEvent::ReadAborted, .. } => Err(KvError::Aborted),
@@ -183,10 +273,16 @@ impl<B: LabelingSystem> KvCluster<B> {
         let plan = FaultPlan::total(total, severity);
         let sys = self.sys.clone();
         let cfg = self.cfg;
-        self.sim.apply_fault(&plan, move |rng| {
+        let mut gen = move |rng: &mut rand::rngs::StdRng| {
             let key = rand::Rng::gen_range(rng, 0..4u64);
             KvMsg::new(key, random_message::<B>(&sys, &cfg, rng))
-        });
+        };
+        self.sim.apply_fault(&plan, &mut gen);
+    }
+
+    /// Tear down the substrate (joins worker threads on threads).
+    pub fn stop(&mut self) {
+        self.sim.stop();
     }
 
     /// Check one key's history against MWMR regularity.
@@ -227,7 +323,7 @@ impl<B: LabelingSystem> KvCluster<B> {
         }
     }
 
-    /// Current virtual time.
+    /// Current time: virtual (simulator) or elapsed ticks (threads).
     pub fn now(&self) -> u64 {
         self.sim.now()
     }
@@ -294,5 +390,33 @@ mod tests {
         let c = store.client(0);
         assert_eq!(store.get(c, 777).unwrap(), 0);
         assert!(store.check_history(777).is_ok());
+    }
+
+    #[test]
+    fn threaded_store_round_trips_and_reports_metrics() {
+        let mut store = KvCluster::bounded(1).seed(6).build_threaded();
+        assert_eq!(store.backend(), Backend::Threaded);
+        let c = store.client(0);
+        store.put(c, 1, 11).unwrap();
+        store.put(c, 2, 22).unwrap();
+        assert_eq!(store.get(c, 1).unwrap(), 11);
+        assert_eq!(store.get(c, 2).unwrap(), 22);
+        assert!(store.check_all_histories().is_ok());
+        let m = store.metrics();
+        assert!(m.messages_sent > 0 && m.messages_delivered > 0, "{m:?}");
+        store.stop();
+    }
+
+    #[test]
+    fn backend_switch_selects_runtime() {
+        for backend in [Backend::Sim, Backend::Threaded] {
+            let mut store = KvCluster::bounded(1).seed(7).backend(backend).build_any();
+            assert_eq!(store.backend(), backend);
+            let c = store.client(0);
+            store.put(c, 5, 55).unwrap();
+            assert_eq!(store.get(c, 5).unwrap(), 55, "{backend:?}");
+            assert!(store.check_all_histories().is_ok(), "{backend:?}");
+            store.stop();
+        }
     }
 }

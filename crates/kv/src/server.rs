@@ -45,10 +45,8 @@ impl<B: LabelingSystem> Automaton<KvMsg<Ts<B>>, KvEvent<Ts<B>>> for KvServer<B> 
             return;
         }
         let key = msg.key;
-        let register = self
-            .registers
-            .entry(key)
-            .or_insert_with(|| Server::new(self.sys.clone(), self.cfg));
+        let register =
+            self.registers.entry(key).or_insert_with(|| Server::new(self.sys.clone(), self.cfg));
         let (me, now) = (ctx.me, ctx.now);
         let (sends, outputs) = {
             let mut inner = Ctx::detached(me, now, ctx.rng());

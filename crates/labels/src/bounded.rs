@@ -166,12 +166,8 @@ impl LabelingSystem for BoundedLabeling {
     fn sanitize(&self, raw: BoundedLabel) -> BoundedLabel {
         let domain = self.domain();
         let sting = raw.sting % domain;
-        let mut anti: Vec<u32> = raw
-            .antistings
-            .into_iter()
-            .map(|v| v % domain)
-            .filter(|&v| v != sting)
-            .collect();
+        let mut anti: Vec<u32> =
+            raw.antistings.into_iter().map(|v| v % domain).filter(|&v| v != sting).collect();
         anti.sort_unstable();
         anti.dedup();
         anti.truncate(self.k);
@@ -188,10 +184,7 @@ impl LabelingSystem for BoundedLabeling {
 
     fn genesis(&self) -> BoundedLabel {
         // Sting k (first value outside the canonical 0..k antistings).
-        BoundedLabel {
-            sting: self.k as u32,
-            antistings: (0..self.k as u32).collect(),
-        }
+        BoundedLabel { sting: self.k as u32, antistings: (0..self.k as u32).collect() }
     }
 
     fn arbitrary(&self, rng: &mut StdRng) -> BoundedLabel {
@@ -288,10 +281,7 @@ mod tests {
         let s = sys(5);
         let garbage: Vec<BoundedLabel> = (0..5)
             .map(|i| {
-                s.sanitize(BoundedLabel::new(
-                    i * 31 + 7,
-                    vec![i, i + 1, 2 * i, 30 - i, i * i],
-                ))
+                s.sanitize(BoundedLabel::new(i * 31 + 7, vec![i, i + 1, 2 * i, 30 - i, i * i]))
             })
             .collect();
         let nl = s.next(&garbage);

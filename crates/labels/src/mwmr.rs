@@ -69,7 +69,11 @@ impl<S: LabelingSystem> MwmrLabeling<S> {
 
     /// `next()` for a specific writer: dominate the seen labels and stamp
     /// the writer's identity.
-    pub fn next_for(&self, writer: WriterId, seen: &[MwmrTimestamp<S::Label>]) -> MwmrTimestamp<S::Label> {
+    pub fn next_for(
+        &self,
+        writer: WriterId,
+        seen: &[MwmrTimestamp<S::Label>],
+    ) -> MwmrTimestamp<S::Label> {
         let labels: Vec<S::Label> = seen.iter().map(|t| t.label.clone()).collect();
         MwmrTimestamp::new(self.base.next(&labels), writer)
     }
@@ -172,10 +176,8 @@ mod tests {
     #[test]
     fn sanitize_passes_through_writer() {
         let s = MwmrLabeling::new(BoundedLabeling::new(3));
-        let raw = MwmrTimestamp::new(
-            crate::bounded::BoundedLabel::new(10_000, vec![1, 1, 1, 1, 1]),
-            42,
-        );
+        let raw =
+            MwmrTimestamp::new(crate::bounded::BoundedLabel::new(10_000, vec![1, 1, 1, 1, 1]), 42);
         let clean = s.sanitize(raw);
         assert_eq!(clean.writer, 42);
         assert_eq!(clean.label, s.base().sanitize(clean.label.clone()));

@@ -39,14 +39,7 @@ impl ReadLabelPool {
     pub fn new(n: usize, k: usize) -> Self {
         assert!(k >= 2, "read-label pool needs k >= 2, got {k}");
         assert!(n >= 1, "read-label pool needs at least one server");
-        Self {
-            n,
-            k,
-            last: None,
-            pending: vec![vec![false; k]; n],
-            reuses: 0,
-            uses: vec![0; k],
-        }
+        Self { n, k, last: None, pending: vec![vec![false; k]; n], reuses: 0, uses: vec![0; k] }
     }
 
     /// Number of servers tracked.

@@ -74,10 +74,8 @@ pub trait LabelingSystem: Clone + Send + Sync + 'static {
     /// several, or (in a precedence cycle) none — in which case all inputs
     /// are returned so callers can apply a deterministic tie-break.
     fn maximal<'a>(&self, labels: &'a [Self::Label]) -> Vec<&'a Self::Label> {
-        let mut out: Vec<&'a Self::Label> = labels
-            .iter()
-            .filter(|a| !labels.iter().any(|b| self.precedes(a, b)))
-            .collect();
+        let mut out: Vec<&'a Self::Label> =
+            labels.iter().filter(|a| !labels.iter().any(|b| self.precedes(a, b))).collect();
         if out.is_empty() {
             out = labels.iter().collect();
         }

@@ -97,7 +97,14 @@ impl<M> ChannelMap<M> {
     /// Compute the FIFO-respecting delivery time for a message sent `now`,
     /// or buffer it if the channel is paused. Returns `Some(delivery_time)`
     /// when the message should be scheduled.
-    pub fn schedule(&mut self, from: ProcessId, to: ProcessId, now: u64, msg: M, rng: &mut StdRng) -> Option<(u64, M)> {
+    pub fn schedule(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        now: u64,
+        msg: M,
+        rng: &mut StdRng,
+    ) -> Option<(u64, M)> {
         let delay = self.delay.sample(rng);
         let st = self.state(from, to);
         if st.paused {
@@ -122,7 +129,13 @@ impl<M> ChannelMap<M> {
 
     /// Resume the channel, returning the held messages (in FIFO order) with
     /// their computed delivery times, ready to be scheduled.
-    pub fn resume(&mut self, from: ProcessId, to: ProcessId, now: u64, rng: &mut StdRng) -> Vec<(u64, M)> {
+    pub fn resume(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        now: u64,
+        rng: &mut StdRng,
+    ) -> Vec<(u64, M)> {
         let delay = self.delay;
         let st = self.state(from, to);
         st.paused = false;

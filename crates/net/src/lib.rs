@@ -16,7 +16,10 @@
 //!   gives the required FIFO property for free.
 //!
 //! Protocols are written *sans-IO* as [`process::Automaton`] state machines
-//! and run unchanged on either substrate.
+//! and run unchanged on either substrate. The [`substrate::Substrate`]
+//! trait is the common driver surface — spawn, inject, pump outputs,
+//! metrics, trace, fault injection, crash, stop — so scenario drivers are
+//! generic over the runtime and select it via [`substrate::Backend`].
 //!
 //! Fault injection lives in [`corruption`] (transient state/channel
 //! corruption — the "stabilizing" part of the model) while Byzantine
@@ -31,6 +34,7 @@ pub mod corruption;
 pub mod metrics;
 pub mod process;
 pub mod sim;
+pub mod substrate;
 pub mod threaded;
 pub mod trace;
 
@@ -39,4 +43,5 @@ pub use corruption::CorruptionSeverity;
 pub use metrics::NetMetrics;
 pub use process::{Automaton, Ctx, ProcessId, ENV};
 pub use sim::{SimConfig, SimEvent, Simulation};
+pub use substrate::{AnySubstrate, Backend, Pumped, Substrate, SubstrateConfig};
 pub use threaded::ThreadedCluster;

@@ -22,8 +22,7 @@ use crate::process::{Automaton, Ctx, ProcessId, ENV};
 use crate::trace::Trace;
 
 /// Simulator construction parameters.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SimConfig {
     /// Seed for all simulator randomness (delays, adversary coin flips).
     pub seed: u64,
@@ -32,7 +31,6 @@ pub struct SimConfig {
     /// Ring-buffer capacity of the debug trace (0 disables tracing).
     pub trace_capacity: usize,
 }
-
 
 impl SimConfig {
     /// Config with a specific seed and default delays.
@@ -328,9 +326,7 @@ where
             }
         }
         for &(from, to) in &plan.garbage_channels {
-            let msgs: Vec<M> = (0..plan.garbage_per_channel)
-                .map(|_| gen(&mut self.rng))
-                .collect();
+            let msgs: Vec<M> = (0..plan.garbage_per_channel).map(|_| gen(&mut self.rng)).collect();
             self.preload_channel(from, to, msgs);
         }
     }
@@ -530,8 +526,7 @@ mod tests {
 
     #[test]
     fn trace_records_when_enabled() {
-        let mut sim: Simulation<u32, u32> =
-            Simulation::new(SimConfig::seeded(0).with_trace(16));
+        let mut sim: Simulation<u32, u32> = Simulation::new(SimConfig::seeded(0).with_trace(16));
         sim.add_process(Box::new(PingPong));
         sim.add_process(Box::new(PingPong));
         sim.inject(0, 2);

@@ -1,0 +1,379 @@
+//! The substrate abstraction: one driver surface over both runtimes.
+//!
+//! A *substrate* is anything that can host a set of [`Automaton`] processes
+//! and let a driver inject environment commands, drain timestamped outputs,
+//! inject transient faults, and read [`NetMetrics`]. The two
+//! implementations are the deterministic discrete-event [`Simulation`]
+//! (virtual time, replayable schedules) and the [`ThreadedCluster`]
+//! (one OS thread per process, wall-clock time measured in ticks).
+//! Scenario drivers written against [`Substrate`] run the same protocol
+//! unchanged on either — correctness work on the simulator, wall-clock
+//! measurements on threads — selected at runtime through [`Backend`] and
+//! [`AnySubstrate`].
+
+use std::fmt::Debug;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+
+use crate::channel::DelayModel;
+use crate::corruption::FaultPlan;
+use crate::metrics::NetMetrics;
+use crate::process::{Automaton, ProcessId};
+use crate::sim::{SimConfig, Simulation};
+use crate::threaded::ThreadedCluster;
+use crate::trace::Trace;
+
+/// Which runtime a driver should assemble.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The deterministic discrete-event simulator.
+    Sim,
+    /// The one-OS-thread-per-process runtime.
+    Threaded,
+}
+
+/// Substrate-independent construction parameters.
+///
+/// The simulator consumes `seed`, `delay` and `trace_capacity`; the
+/// threaded runtime additionally maps virtual time onto the wall clock via
+/// `tick` (timer delays of `d` units fire after `d × tick`) and bounds its
+/// blocking behaviour with `pump_timeout` (one [`Substrate::pump`] wait)
+/// and `join_timeout` (graceful stop).
+#[derive(Clone, Copy, Debug)]
+pub struct SubstrateConfig {
+    /// Seed for all substrate randomness.
+    pub seed: u64,
+    /// Message delay distribution (simulator only; threads deliver asap).
+    pub delay: DelayModel,
+    /// Debug-trace ring capacity (0 disables tracing).
+    pub trace_capacity: usize,
+    /// Wall-clock length of one virtual time unit on threads.
+    pub tick: Duration,
+    /// Longest a single threaded `pump` blocks before reporting idle.
+    pub pump_timeout: Duration,
+    /// Bound on waiting for worker threads to exit during stop/drop.
+    pub join_timeout: Duration,
+}
+
+impl Default for SubstrateConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            delay: DelayModel::default(),
+            trace_capacity: 0,
+            tick: Duration::from_micros(100),
+            pump_timeout: Duration::from_millis(100),
+            join_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl SubstrateConfig {
+    /// Config with a specific seed and defaults otherwise.
+    pub fn seeded(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// Replace the delay model.
+    pub fn with_delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Enable the debug trace.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Replace the threaded tick length.
+    pub fn with_tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// The simulator subset of this config.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig { seed: self.seed, delay: self.delay, trace_capacity: self.trace_capacity }
+    }
+}
+
+/// Result of one [`Substrate::pump`] call.
+#[derive(Clone, Debug)]
+pub enum Pumped<O> {
+    /// A process acted; `outputs` may be empty (pure message handling).
+    Event {
+        /// Virtual time (simulator) or elapsed ticks (threads).
+        time: u64,
+        /// The process that acted.
+        pid: ProcessId,
+        /// Observable outputs emitted during the event.
+        outputs: Vec<O>,
+    },
+    /// Nothing surfaced right now, but processes may still be working
+    /// (threads mid-computation). Never returned by the simulator.
+    Idle,
+    /// No event will ever surface again (simulator queue drained, or the
+    /// threaded cluster stopped).
+    Quiescent,
+}
+
+/// A runtime hosting sans-IO automata behind a driver-facing surface.
+///
+/// The surface is the intersection both runtimes support faithfully;
+/// schedule steering (pause/partition) and typed state access remain
+/// simulator-only inherent methods, since threads cannot replay schedules
+/// or share automaton state.
+pub trait Substrate<M, O> {
+    /// Which backend this is (for reporting).
+    fn backend(&self) -> Backend;
+
+    /// Number of hosted processes.
+    fn process_count(&self) -> usize;
+
+    /// Current time: virtual (simulator) or elapsed ticks (threads).
+    fn now(&self) -> u64;
+
+    /// Deliver `msg` to `pid` as a command from the environment.
+    fn inject(&mut self, pid: ProcessId, msg: M);
+
+    /// Advance: process/collect one event.
+    fn pump(&mut self) -> Pumped<O>;
+
+    /// Snapshot of the network counters.
+    fn metrics_snapshot(&self) -> NetMetrics;
+
+    /// Snapshot of the debug trace (empty unless enabled).
+    fn trace_snapshot(&self) -> Trace;
+
+    /// Execute a transient-fault plan: scramble the listed process states
+    /// and inject `gen`-produced garbage messages on the listed channels.
+    fn apply_fault(&mut self, plan: &FaultPlan, gen: &mut dyn FnMut(&mut StdRng) -> M);
+
+    /// Crash `pid`: it silently drops all future deliveries.
+    fn crash(&mut self, pid: ProcessId);
+
+    /// Tear the substrate down (stop worker threads; no-op on the
+    /// simulator). After `stop`, `pump` returns [`Pumped::Quiescent`].
+    fn stop(&mut self);
+}
+
+impl<M, O> Simulation<M, O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    /// Assemble a simulation hosting `procs` (ids assigned in order).
+    pub fn from_procs(procs: Vec<Box<dyn Automaton<M, O>>>, config: &SubstrateConfig) -> Self {
+        let mut sim = Simulation::new(config.sim_config());
+        for p in procs {
+            sim.add_process(p);
+        }
+        sim
+    }
+}
+
+impl<M, O> Substrate<M, O> for Simulation<M, O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    fn backend(&self) -> Backend {
+        Backend::Sim
+    }
+
+    fn process_count(&self) -> usize {
+        Simulation::process_count(self)
+    }
+
+    fn now(&self) -> u64 {
+        Simulation::now(self)
+    }
+
+    fn inject(&mut self, pid: ProcessId, msg: M) {
+        Simulation::inject(self, pid, msg);
+    }
+
+    fn pump(&mut self) -> Pumped<O> {
+        match self.step() {
+            Some(ev) => Pumped::Event { time: ev.time, pid: ev.pid, outputs: ev.outputs },
+            None => Pumped::Quiescent,
+        }
+    }
+
+    fn metrics_snapshot(&self) -> NetMetrics {
+        self.metrics().clone()
+    }
+
+    fn trace_snapshot(&self) -> Trace {
+        self.trace().clone()
+    }
+
+    fn apply_fault(&mut self, plan: &FaultPlan, gen: &mut dyn FnMut(&mut StdRng) -> M) {
+        Simulation::apply_fault(self, plan, gen);
+    }
+
+    fn crash(&mut self, pid: ProcessId) {
+        Simulation::crash(self, pid);
+    }
+
+    fn stop(&mut self) {
+        // The simulator owns no resources beyond its event queue; draining
+        // it makes subsequent pumps quiescent, matching the contract.
+        while self.step().is_some() {}
+    }
+}
+
+/// Runtime-selected substrate: the concrete type a driver stores when the
+/// backend is chosen by configuration rather than at compile time.
+pub enum AnySubstrate<M, O> {
+    /// Simulator-backed.
+    Sim(Simulation<M, O>),
+    /// Thread-backed.
+    Threaded(ThreadedCluster<M, O>),
+}
+
+impl<M, O> AnySubstrate<M, O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    /// Spawn `procs` on the requested backend.
+    pub fn spawn(
+        backend: Backend,
+        procs: Vec<Box<dyn Automaton<M, O>>>,
+        config: &SubstrateConfig,
+    ) -> Self {
+        match backend {
+            Backend::Sim => AnySubstrate::Sim(Simulation::from_procs(procs, config)),
+            Backend::Threaded => AnySubstrate::Threaded(ThreadedCluster::spawn_with(procs, config)),
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $sub:ident => $e:expr) => {
+        match $self {
+            AnySubstrate::Sim($sub) => $e,
+            AnySubstrate::Threaded($sub) => $e,
+        }
+    };
+}
+
+impl<M, O> Substrate<M, O> for AnySubstrate<M, O>
+where
+    M: Clone + Debug + Send + 'static,
+    O: Clone + Debug + Send + 'static,
+{
+    fn backend(&self) -> Backend {
+        delegate!(self, s => Substrate::<M, O>::backend(s))
+    }
+
+    fn process_count(&self) -> usize {
+        delegate!(self, s => Substrate::<M, O>::process_count(s))
+    }
+
+    fn now(&self) -> u64 {
+        delegate!(self, s => Substrate::<M, O>::now(s))
+    }
+
+    fn inject(&mut self, pid: ProcessId, msg: M) {
+        delegate!(self, s => Substrate::inject(s, pid, msg))
+    }
+
+    fn pump(&mut self) -> Pumped<O> {
+        delegate!(self, s => Substrate::pump(s))
+    }
+
+    fn metrics_snapshot(&self) -> NetMetrics {
+        delegate!(self, s => Substrate::<M, O>::metrics_snapshot(s))
+    }
+
+    fn trace_snapshot(&self) -> Trace {
+        delegate!(self, s => Substrate::<M, O>::trace_snapshot(s))
+    }
+
+    fn apply_fault(&mut self, plan: &FaultPlan, gen: &mut dyn FnMut(&mut StdRng) -> M) {
+        delegate!(self, s => Substrate::apply_fault(s, plan, gen))
+    }
+
+    fn crash(&mut self, pid: ProcessId) {
+        delegate!(self, s => Substrate::<M, O>::crash(s, pid))
+    }
+
+    fn stop(&mut self) {
+        delegate!(self, s => Substrate::<M, O>::stop(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{Ctx, ENV};
+
+    /// Counts down by ping-ponging between two processes, then outputs.
+    struct PingPong;
+    impl Automaton<u32, u32> for PingPong {
+        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut Ctx<'_, u32, u32>) {
+            if msg == 0 {
+                ctx.output(0);
+            } else if from != ENV {
+                ctx.send(from, msg - 1);
+            } else {
+                ctx.send(1 - ctx.me, msg - 1);
+            }
+        }
+    }
+
+    fn drive<S: Substrate<u32, u32>>(sub: &mut S) -> Vec<(u64, ProcessId, u32)> {
+        sub.inject(0, 10);
+        let mut got = Vec::new();
+        let mut idle = 0;
+        for _ in 0..100_000 {
+            match sub.pump() {
+                Pumped::Event { time, pid, outputs } => {
+                    idle = 0;
+                    for o in outputs {
+                        got.push((time, pid, o));
+                    }
+                    if !got.is_empty() {
+                        break;
+                    }
+                }
+                Pumped::Idle => {
+                    idle += 1;
+                    if idle > 20 {
+                        break;
+                    }
+                }
+                Pumped::Quiescent => break,
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn both_backends_complete_the_countdown() {
+        for backend in [Backend::Sim, Backend::Threaded] {
+            let procs: Vec<Box<dyn Automaton<u32, u32>>> =
+                vec![Box::new(PingPong), Box::new(PingPong)];
+            let mut sub = AnySubstrate::spawn(backend, procs, &SubstrateConfig::seeded(5));
+            let got = drive(&mut sub);
+            assert_eq!(got.len(), 1, "{backend:?}");
+            assert_eq!(got[0].2, 0, "{backend:?}");
+            let m = sub.metrics_snapshot();
+            assert!(m.messages_delivered >= 11, "{backend:?}: {m:?}");
+            sub.stop();
+            assert!(matches!(sub.pump(), Pumped::Quiescent), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn sim_substrate_reports_backend_and_counts() {
+        let procs: Vec<Box<dyn Automaton<u32, u32>>> = vec![Box::new(PingPong), Box::new(PingPong)];
+        let sub: Simulation<u32, u32> = Simulation::from_procs(procs, &SubstrateConfig::seeded(1));
+        assert_eq!(Substrate::<u32, u32>::backend(&sub), Backend::Sim);
+        assert_eq!(Substrate::<u32, u32>::process_count(&sub), 2);
+    }
+}

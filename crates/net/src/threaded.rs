@@ -5,43 +5,268 @@
 //! automata are substrate-independent. Each process owns an unbounded
 //! crossbeam channel as its inbox; since a crossbeam channel delivers any
 //! single producer's messages in send order, the per-pair FIFO property the
-//! protocol relies on holds. There is no global clock — `Ctx::now` carries
-//! a per-process event counter — and no determinism; correctness assertions
-//! belong on the simulator, throughput measurements here.
+//! protocol relies on holds. There is no determinism — correctness
+//! assertions belong on the simulator, throughput measurements here — but
+//! the full driver surface of [`crate::substrate::Substrate`] is supported:
 //!
-//! **Limitation**: timers ([`Ctx::set_timer`]) are not supported on this
-//! substrate and are silently dropped. The register protocols are purely
-//! message-driven; the data-link protocol, which does use timers for
-//! retransmission, runs on the simulator.
+//! * **Timers**: each worker keeps a local timer wheel and waits on its
+//!   inbox with `recv_deadline`; a timer of `d` virtual units fires after
+//!   `d × tick` of wall clock (`tick` from
+//!   [`crate::substrate::SubstrateConfig`]).
+//! * **Time**: `Ctx::now` and output timestamps are ticks elapsed since
+//!   spawn, measured against one shared epoch — comparable across
+//!   processes the way virtual time is on the simulator.
+//! * **Metrics**: workers record sends/deliveries/drops into shared atomic
+//!   counters, snapshotted on demand as [`NetMetrics`].
+//! * **Fault injection**: [`FaultPlan`]s corrupt victim automata in-thread
+//!   (a control message invokes [`Automaton::corrupt`]) and inject garbage
+//!   messages on the listed channels with spoofed senders.
+//! * **Shutdown**: `stop` (and `Drop`) delivers stop controls and joins
+//!   every worker with a bounded timeout, so a hung automaton cannot hang
+//!   the driver.
 
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::corruption::FaultPlan;
+use crate::metrics::NetMetrics;
 use crate::process::{Automaton, Ctx, ProcessId, ENV};
+use crate::substrate::{Backend, Pumped, Substrate, SubstrateConfig};
+use crate::trace::Trace;
 
 enum Ctl<M> {
     Msg { from: ProcessId, msg: M },
+    Corrupt,
+    Crash,
     Stop,
+}
+
+/// Lock-free counters shared by all workers; ENV tallies live in the
+/// extra slot at index `n`.
+struct SharedMetrics {
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    events: AtomicU64,
+    sent_by: Vec<AtomicU64>,
+    received_by: Vec<AtomicU64>,
+}
+
+impl SharedMetrics {
+    fn new(n: usize) -> Self {
+        Self {
+            sent: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            sent_by: (0..=n).map(|_| AtomicU64::new(0)).collect(),
+            received_by: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record_send(&self, from: ProcessId) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        let slot = if from == ENV { self.sent_by.len() - 1 } else { from };
+        self.sent_by[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_delivery(&self, to: ProcessId) {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.received_by[to].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> NetMetrics {
+        let mut m = NetMetrics {
+            messages_sent: self.sent.load(Ordering::Relaxed),
+            messages_delivered: self.delivered.load(Ordering::Relaxed),
+            messages_dropped: self.dropped.load(Ordering::Relaxed),
+            events_processed: self.events.load(Ordering::Relaxed),
+            ..NetMetrics::default()
+        };
+        let env_slot = self.sent_by.len() - 1;
+        for (pid, c) in self.sent_by.iter().enumerate() {
+            let v = c.load(Ordering::Relaxed);
+            if v > 0 {
+                let key = if pid == env_slot { ENV } else { pid };
+                m.sent_by.insert(key, v);
+            }
+        }
+        for (pid, c) in self.received_by.iter().enumerate() {
+            let v = c.load(Ordering::Relaxed);
+            if v > 0 {
+                m.received_by.insert(pid, v);
+            }
+        }
+        m
+    }
+}
+
+/// Everything one worker thread needs; grouped to keep the spawn loop flat.
+struct Worker<M, O> {
+    pid: ProcessId,
+    auto: Box<dyn Automaton<M, O>>,
+    rx: Receiver<Ctl<M>>,
+    peers: Vec<Sender<Ctl<M>>>,
+    out: Sender<(u64, O)>,
+    metrics: Arc<SharedMetrics>,
+    trace: Option<Arc<Mutex<Trace>>>,
+    epoch: Instant,
+    tick: Duration,
+    rng: StdRng,
+}
+
+impl<M, O> Worker<M, O>
+where
+    M: Clone + std::fmt::Debug + Send + 'static,
+    O: Send + 'static,
+{
+    fn ticks(&self) -> u64 {
+        ticks_since(self.epoch, self.tick)
+    }
+
+    fn run(mut self) {
+        // Timer wheel: earliest deadline first; seq breaks ties FIFO.
+        let mut timers: BinaryHeap<std::cmp::Reverse<(Instant, u64, u64)>> = BinaryHeap::new();
+        let mut timer_seq = 0u64;
+        let mut crashed = false;
+
+        let now = self.ticks();
+        self.dispatch(now, &mut timers, &mut timer_seq, |auto, ctx| auto.on_start(ctx));
+
+        loop {
+            let ctl = match timers.peek() {
+                Some(&std::cmp::Reverse((deadline, _, _))) => {
+                    match self.rx.recv_deadline(deadline) {
+                        Ok(ctl) => Some(ctl),
+                        Err(RecvTimeoutError::Timeout) => None, // a timer is due
+                        Err(RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+                None => match self.rx.recv() {
+                    Ok(ctl) => Some(ctl),
+                    Err(_) => return,
+                },
+            };
+            match ctl {
+                Some(Ctl::Stop) => return,
+                Some(Ctl::Crash) => {
+                    crashed = true;
+                    timers.clear();
+                }
+                Some(Ctl::Corrupt) => {
+                    self.auto.corrupt(&mut self.rng);
+                }
+                Some(Ctl::Msg { from, msg }) => {
+                    if crashed {
+                        self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    self.metrics.events.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.record_delivery(self.pid);
+                    let now = self.ticks();
+                    if let Some(trace) = &self.trace {
+                        if let Ok(mut t) = trace.lock() {
+                            t.record(now, from, self.pid, || format!("{msg:?}"));
+                        }
+                    }
+                    self.dispatch(now, &mut timers, &mut timer_seq, |auto, ctx| {
+                        auto.on_message(from, msg, ctx)
+                    });
+                }
+                None => {
+                    // The earliest timer is due (and possibly more).
+                    let wall = Instant::now();
+                    while let Some(&std::cmp::Reverse((deadline, _, id))) = timers.peek() {
+                        if deadline > wall {
+                            break;
+                        }
+                        timers.pop();
+                        if crashed {
+                            continue;
+                        }
+                        self.metrics.events.fetch_add(1, Ordering::Relaxed);
+                        let now = self.ticks();
+                        self.dispatch(now, &mut timers, &mut timer_seq, |auto, ctx| {
+                            auto.on_timer(id, ctx)
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run one callback, then flush its effects to peers/outputs/timers.
+    fn dispatch(
+        &mut self,
+        now: u64,
+        timers: &mut BinaryHeap<std::cmp::Reverse<(Instant, u64, u64)>>,
+        timer_seq: &mut u64,
+        f: impl FnOnce(&mut dyn Automaton<M, O>, &mut Ctx<'_, M, O>),
+    ) {
+        let mut ctx = Ctx::new(self.pid, now, &mut self.rng);
+        f(&mut *self.auto, &mut ctx);
+        let (outbox, outputs, set_timers) = ctx.drain();
+        for (to, msg) in outbox {
+            if to < self.peers.len() {
+                self.metrics.record_send(self.pid);
+                let _ = self.peers[to].send(Ctl::Msg { from: self.pid, msg });
+            } else {
+                self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        for o in outputs {
+            let _ = self.out.send((now, o));
+        }
+        for (delay, id) in set_timers {
+            let units = delay.clamp(1, u32::MAX as u64) as u32;
+            let deadline = Instant::now() + self.tick.saturating_mul(units);
+            timers.push(std::cmp::Reverse((deadline, *timer_seq, id)));
+            *timer_seq += 1;
+        }
+    }
+}
+
+fn ticks_since(epoch: Instant, tick: Duration) -> u64 {
+    (epoch.elapsed().as_nanos() / tick.as_nanos().max(1)) as u64
 }
 
 /// A running cluster of automata on OS threads.
 pub struct ThreadedCluster<M, O> {
     inboxes: Vec<Sender<Ctl<M>>>,
-    outputs: Vec<Receiver<O>>,
+    outputs: Vec<Receiver<(u64, O)>>,
     handles: Vec<JoinHandle<()>>,
+    metrics: Arc<SharedMetrics>,
+    trace: Option<Arc<Mutex<Trace>>>,
+    /// Driver-side RNG for fault-plan garbage generation.
+    rng: StdRng,
+    epoch: Instant,
+    tick: Duration,
+    pump_timeout: Duration,
+    join_timeout: Duration,
+    /// Round-robin start position for fair output polling in `pump`.
+    poll_from: usize,
+    stopped: bool,
 }
 
 impl<M, O> ThreadedCluster<M, O>
 where
-    M: Clone + Send + 'static,
+    M: Clone + std::fmt::Debug + Send + 'static,
     O: Send + 'static,
 {
     /// Spawn one thread per automaton. `seed` derives each thread's RNG.
     pub fn spawn(procs: Vec<Box<dyn Automaton<M, O>>>, seed: u64) -> Self {
+        Self::spawn_with(procs, &SubstrateConfig::seeded(seed))
+    }
+
+    /// Spawn with full substrate configuration.
+    pub fn spawn_with(procs: Vec<Box<dyn Automaton<M, O>>>, config: &SubstrateConfig) -> Self {
         let n = procs.len();
         let mut inbox_tx = Vec::with_capacity(n);
         let mut inbox_rx = Vec::with_capacity(n);
@@ -53,41 +278,51 @@ where
         let mut out_tx = Vec::with_capacity(n);
         let mut out_rx = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded::<O>();
+            let (tx, rx) = unbounded::<(u64, O)>();
             out_tx.push(tx);
             out_rx.push(rx);
         }
 
+        let metrics = Arc::new(SharedMetrics::new(n));
+        let trace = (config.trace_capacity > 0)
+            .then(|| Arc::new(Mutex::new(Trace::new(config.trace_capacity))));
+        let epoch = Instant::now();
+
         let mut handles = Vec::with_capacity(n);
-        let mut rxs = inbox_rx;
-        for (pid, mut auto) in procs.into_iter().enumerate() {
-            let rx = rxs.remove(0);
-            let peers = inbox_tx.clone();
-            let out = out_tx[pid].clone();
-            handles.push(std::thread::spawn(move || {
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                let mut tick: u64 = 0;
-                {
-                    let mut ctx = Ctx::new(pid, tick, &mut rng);
-                    auto.on_start(&mut ctx);
-                    flush(pid, ctx, &peers, &out);
-                }
-                while let Ok(ctl) = rx.recv() {
-                    tick += 1;
-                    match ctl {
-                        Ctl::Stop => return,
-                        Ctl::Msg { from, msg } => {
-                            let mut ctx = Ctx::new(pid, tick, &mut rng);
-                            auto.on_message(from, msg, &mut ctx);
-                            flush(pid, ctx, &peers, &out);
-                        }
-                    }
-                }
-            }));
+        for ((pid, auto), (rx, out)) in
+            procs.into_iter().enumerate().zip(inbox_rx.into_iter().zip(out_tx))
+        {
+            let worker = Worker {
+                pid,
+                auto,
+                rx,
+                peers: inbox_tx.clone(),
+                out,
+                metrics: Arc::clone(&metrics),
+                trace: trace.clone(),
+                epoch,
+                tick: config.tick,
+                rng: StdRng::seed_from_u64(
+                    config.seed ^ (pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+            };
+            handles.push(std::thread::spawn(move || worker.run()));
         }
 
-        Self { inboxes: inbox_tx, outputs: out_rx, handles }
+        Self {
+            inboxes: inbox_tx,
+            outputs: out_rx,
+            handles,
+            metrics,
+            trace,
+            rng: StdRng::seed_from_u64(config.seed ^ 0xD1B5_4A32_D192_ED03),
+            epoch,
+            tick: config.tick,
+            pump_timeout: config.pump_timeout,
+            join_timeout: config.join_timeout,
+            poll_from: 0,
+            stopped: false,
+        }
     }
 
     /// Number of processes.
@@ -100,19 +335,32 @@ where
         self.inboxes.is_empty()
     }
 
+    /// Elapsed ticks since spawn (the cluster-wide clock).
+    pub fn ticks(&self) -> u64 {
+        ticks_since(self.epoch, self.tick)
+    }
+
     /// Send a command to `pid` as the environment.
     pub fn send(&self, pid: ProcessId, msg: M) {
+        self.metrics.record_send(ENV);
         let _ = self.inboxes[pid].send(Ctl::Msg { from: ENV, msg });
+    }
+
+    /// Inject a message into `pid`'s inbox with a spoofed sender — the
+    /// threaded realization of garbage already in transit on `(from, to)`.
+    pub fn inject_as(&self, from: ProcessId, to: ProcessId, msg: M) {
+        self.metrics.record_send(from);
+        let _ = self.inboxes[to].send(Ctl::Msg { from, msg });
     }
 
     /// Block until `pid` emits an output, up to `timeout`.
     pub fn recv_output(&self, pid: ProcessId, timeout: Duration) -> Option<O> {
-        self.outputs[pid].recv_timeout(timeout).ok()
+        self.outputs[pid].recv_timeout(timeout).ok().map(|(_, o)| o)
     }
 
     /// Non-blocking output poll.
     pub fn try_recv_output(&self, pid: ProcessId) -> Option<O> {
-        self.outputs[pid].try_recv().ok()
+        self.outputs[pid].try_recv().ok().map(|(_, o)| o)
     }
 
     /// Send a command and wait for the next output from the same process —
@@ -122,38 +370,136 @@ where
         self.recv_output(pid, timeout)
     }
 
-    /// Stop all threads and join them.
+    /// Corrupt `pid`'s automaton state in-thread (transient fault).
+    pub fn corrupt_process(&self, pid: ProcessId) {
+        let _ = self.inboxes[pid].send(Ctl::Corrupt);
+    }
+
+    /// Stop all threads and join them (bounded by the configured join
+    /// timeout). Equivalent to dropping the cluster, but explicit.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl<M, O> ThreadedCluster<M, O> {
+    fn stop_and_join(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
         for tx in &self.inboxes {
             let _ = tx.send(Ctl::Stop);
         }
+        let deadline = Instant::now() + self.join_timeout;
         for h in self.handles.drain(..) {
-            let _ = h.join();
+            while !h.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if h.is_finished() {
+                let _ = h.join();
+            }
+            // Past the deadline a hung worker is abandoned (detached): its
+            // inbox senders die with `self`, so it exits on its next recv.
         }
     }
 }
 
-fn flush<M, O>(pid: ProcessId, ctx: Ctx<'_, M, O>, peers: &[Sender<Ctl<M>>], out: &Sender<O>) {
-    let Ctx { outbox, outputs, timers, .. } = ctx;
-    for (to, msg) in outbox {
-        if to < peers.len() {
-            let _ = peers[to].send(Ctl::Msg { from: pid, msg });
+impl<M, O> Drop for ThreadedCluster<M, O> {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+impl<M, O> Substrate<M, O> for ThreadedCluster<M, O>
+where
+    M: Clone + std::fmt::Debug + Send + 'static,
+    O: Clone + std::fmt::Debug + Send + 'static,
+{
+    fn backend(&self) -> Backend {
+        Backend::Threaded
+    }
+
+    fn process_count(&self) -> usize {
+        self.len()
+    }
+
+    fn now(&self) -> u64 {
+        self.ticks()
+    }
+
+    fn inject(&mut self, pid: ProcessId, msg: M) {
+        ThreadedCluster::send(self, pid, msg);
+    }
+
+    /// Sweep all output queues (round-robin start for fairness); block in
+    /// short slices up to `pump_timeout` before reporting [`Pumped::Idle`].
+    fn pump(&mut self) -> Pumped<O> {
+        if self.stopped {
+            return Pumped::Quiescent;
+        }
+        let n = self.outputs.len();
+        if n == 0 {
+            return Pumped::Quiescent;
+        }
+        let deadline = Instant::now() + self.pump_timeout;
+        loop {
+            for i in 0..n {
+                let pid = (self.poll_from + i) % n;
+                if let Ok((time, o)) = self.outputs[pid].try_recv() {
+                    self.poll_from = (pid + 1) % n;
+                    return Pumped::Event { time, pid, outputs: vec![o] };
+                }
+            }
+            if Instant::now() >= deadline {
+                return Pumped::Idle;
+            }
+            std::thread::sleep(Duration::from_micros(200));
         }
     }
-    for o in outputs {
-        let _ = out.send(o);
+
+    fn metrics_snapshot(&self) -> NetMetrics {
+        self.metrics.snapshot()
     }
-    debug_assert!(
-        timers.is_empty(),
-        "timers are unsupported on the threaded runtime (see module docs)"
-    );
+
+    fn trace_snapshot(&self) -> Trace {
+        match &self.trace {
+            Some(t) => t.lock().map(|g| g.clone()).unwrap_or_default(),
+            None => Trace::default(),
+        }
+    }
+
+    fn apply_fault(&mut self, plan: &FaultPlan, gen: &mut dyn FnMut(&mut StdRng) -> M) {
+        for &pid in &plan.corrupt_processes {
+            if pid < self.inboxes.len() {
+                self.corrupt_process(pid);
+            }
+        }
+        for &(from, to) in &plan.garbage_channels {
+            if to >= self.inboxes.len() {
+                continue;
+            }
+            for _ in 0..plan.garbage_per_channel {
+                let msg = gen(&mut self.rng);
+                self.inject_as(from, to, msg);
+            }
+        }
+    }
+
+    fn crash(&mut self, pid: ProcessId) {
+        let _ = self.inboxes[pid].send(Ctl::Crash);
+    }
+
+    fn stop(&mut self) {
+        self.stop_and_join();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[derive(Clone, Default)]
+    #[derive(Clone, Debug, Default)]
     struct Ping(u32);
 
     struct Doubler;
@@ -167,8 +513,8 @@ mod tests {
         }
     }
 
-    struct Worker;
-    impl Automaton<Ping, u32> for Worker {
+    struct Worker2;
+    impl Automaton<Ping, u32> for Worker2 {
         fn on_message(&mut self, from: ProcessId, msg: Ping, ctx: &mut Ctx<'_, Ping, u32>) {
             ctx.send(from, Ping(msg.0 * 2));
         }
@@ -177,7 +523,7 @@ mod tests {
     #[test]
     fn round_trip_through_threads() {
         let cluster: ThreadedCluster<Ping, u32> =
-            ThreadedCluster::spawn(vec![Box::new(Doubler), Box::new(Worker)], 1);
+            ThreadedCluster::spawn(vec![Box::new(Doubler), Box::new(Worker2)], 1);
         let out = cluster.invoke_and_wait(0, Ping(21), Duration::from_secs(5));
         assert_eq!(out, Some(42));
         cluster.shutdown();
@@ -187,7 +533,12 @@ mod tests {
     fn fifo_per_producer() {
         struct Seq(Vec<u32>);
         impl Automaton<Ping, Vec<u32>> for Seq {
-            fn on_message(&mut self, _from: ProcessId, msg: Ping, ctx: &mut Ctx<'_, Ping, Vec<u32>>) {
+            fn on_message(
+                &mut self,
+                _from: ProcessId,
+                msg: Ping,
+                ctx: &mut Ctx<'_, Ping, Vec<u32>>,
+            ) {
                 self.0.push(msg.0);
                 if self.0.len() == 100 {
                     ctx.output(self.0.clone());
@@ -207,8 +558,16 @@ mod tests {
     #[test]
     fn shutdown_joins_cleanly() {
         let cluster: ThreadedCluster<Ping, u32> =
-            ThreadedCluster::spawn(vec![Box::new(Worker), Box::new(Worker)], 3);
+            ThreadedCluster::spawn(vec![Box::new(Worker2), Box::new(Worker2)], 3);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_without_explicit_shutdown() {
+        let cluster: ThreadedCluster<Ping, u32> =
+            ThreadedCluster::spawn(vec![Box::new(Doubler), Box::new(Worker2)], 7);
+        let _ = cluster.invoke_and_wait(0, Ping(1), Duration::from_secs(5));
+        drop(cluster); // must terminate promptly, not hang
     }
 
     #[test]
@@ -216,7 +575,7 @@ mod tests {
         // Many environment commands from multiple user threads; every one
         // gets a response. Exercises MPMC sends into one inbox.
         let cluster: ThreadedCluster<Ping, u32> =
-            ThreadedCluster::spawn(vec![Box::new(Doubler), Box::new(Worker)], 4);
+            ThreadedCluster::spawn(vec![Box::new(Doubler), Box::new(Worker2)], 4);
         std::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| {
@@ -232,5 +591,90 @@ mod tests {
         }
         assert_eq!(got, 100);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_on_threads() {
+        /// Emits its tick count each time its timer fires, re-arming twice.
+        struct TimerAuto {
+            fired: u32,
+        }
+        impl Automaton<Ping, u32> for TimerAuto {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Ping, u32>) {
+                ctx.set_timer(5, 77);
+            }
+            fn on_timer(&mut self, id: u64, ctx: &mut Ctx<'_, Ping, u32>) {
+                assert_eq!(id, 77);
+                self.fired += 1;
+                ctx.output(self.fired);
+                if self.fired < 3 {
+                    ctx.set_timer(5, 77);
+                }
+            }
+            fn on_message(&mut self, _: ProcessId, _: Ping, _: &mut Ctx<'_, Ping, u32>) {}
+        }
+        let cluster: ThreadedCluster<Ping, u32> =
+            ThreadedCluster::spawn(vec![Box::new(TimerAuto { fired: 0 })], 5);
+        for expect in 1..=3u32 {
+            let got = cluster.recv_output(0, Duration::from_secs(5));
+            assert_eq!(got, Some(expect));
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn metrics_count_sends_and_deliveries() {
+        let mut cluster: ThreadedCluster<Ping, u32> =
+            ThreadedCluster::spawn(vec![Box::new(Doubler), Box::new(Worker2)], 6);
+        for _ in 0..10 {
+            let _ = cluster.invoke_and_wait(0, Ping(2), Duration::from_secs(5));
+        }
+        let m = cluster.metrics_snapshot();
+        // 10 env commands + 10 forwards + 10 replies.
+        assert_eq!(m.messages_sent, 30, "{m:?}");
+        assert_eq!(m.messages_delivered, 30, "{m:?}");
+        assert_eq!(m.sent_by_process(ENV), 10);
+        assert_eq!(m.received_by_process(1), 10);
+        Substrate::stop(&mut cluster);
+    }
+
+    #[test]
+    fn crash_drops_subsequent_deliveries() {
+        let mut cluster: ThreadedCluster<Ping, u32> =
+            ThreadedCluster::spawn(vec![Box::new(Doubler), Box::new(Worker2)], 8);
+        Substrate::crash(&mut cluster, 1);
+        // Give the crash control a moment to land ahead of traffic.
+        std::thread::sleep(Duration::from_millis(20));
+        let out = cluster.invoke_and_wait(0, Ping(3), Duration::from_millis(300));
+        assert_eq!(out, None, "worker crashed, reply must never come");
+        let m = cluster.metrics_snapshot();
+        assert!(m.messages_dropped >= 1, "{m:?}");
+        Substrate::stop(&mut cluster);
+    }
+
+    #[test]
+    fn corruption_reaches_the_automaton() {
+        struct Corruptible {
+            poisoned: bool,
+        }
+        impl Automaton<Ping, u32> for Corruptible {
+            fn on_message(&mut self, _: ProcessId, _: Ping, ctx: &mut Ctx<'_, Ping, u32>) {
+                ctx.output(if self.poisoned { 1 } else { 0 });
+            }
+            fn corrupt(&mut self, _rng: &mut StdRng) {
+                self.poisoned = true;
+            }
+        }
+        let mut cluster: ThreadedCluster<Ping, u32> =
+            ThreadedCluster::spawn(vec![Box::new(Corruptible { poisoned: false })], 9);
+        let plan = FaultPlan {
+            corrupt_processes: vec![0],
+            garbage_channels: vec![],
+            garbage_per_channel: 0,
+        };
+        Substrate::apply_fault(&mut cluster, &plan, &mut |_rng| Ping(0));
+        let out = cluster.invoke_and_wait(0, Ping(0), Duration::from_secs(5));
+        assert_eq!(out, Some(1), "corrupt control must precede the probe (FIFO)");
+        Substrate::stop(&mut cluster);
     }
 }

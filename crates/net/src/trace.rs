@@ -39,7 +39,13 @@ impl Trace {
     }
 
     /// Record a delivery; `render` is called only when enabled.
-    pub fn record(&mut self, time: u64, from: ProcessId, to: ProcessId, render: impl FnOnce() -> String) {
+    pub fn record(
+        &mut self,
+        time: u64,
+        from: ProcessId,
+        to: ProcessId,
+        render: impl FnOnce() -> String,
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -58,7 +64,9 @@ impl Trace {
     pub fn render(&self) -> String {
         self.entries
             .iter()
-            .map(|e| format!("t={:<6} {:>3} -> {:<3} {}", e.time, fmt_pid(e.from), fmt_pid(e.to), e.msg))
+            .map(|e| {
+                format!("t={:<6} {:>3} -> {:<3} {}", e.time, fmt_pid(e.from), fmt_pid(e.to), e.msg)
+            })
             .collect::<Vec<_>>()
             .join("\n")
     }

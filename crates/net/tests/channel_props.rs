@@ -18,11 +18,7 @@ enum Act {
 
 fn acts() -> impl Strategy<Value = Vec<Act>> {
     proptest::collection::vec(
-        prop_oneof![
-            (0u32..1000).prop_map(Act::Send),
-            Just(Act::Pause),
-            Just(Act::Resume),
-        ],
+        prop_oneof![(0u32..1000).prop_map(Act::Send), Just(Act::Pause), Just(Act::Resume),],
         1..60,
     )
 }

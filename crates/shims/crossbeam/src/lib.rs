@@ -1,0 +1,243 @@
+//! Offline stand-in for `crossbeam`, providing the `channel` module subset
+//! the threaded substrate uses: unbounded MPMC FIFO channels with
+//! blocking, timed, and non-blocking receives. Built on `Mutex` +
+//! `Condvar`; per-producer FIFO order holds because each `send` appends to
+//! one shared queue under the lock.
+
+#![forbid(unsafe_code)]
+
+/// Unbounded MPMC channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        cond: Condvar,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half; cloneable, usable from any thread.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (MPMC), usable from any thread.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by blocking [`Receiver::recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue empty but senders remain.
+        Empty,
+        /// Queue empty and every sender dropped.
+        Disconnected,
+    }
+
+    /// Error returned by timed receives.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline passed with no message.
+        Timeout,
+        /// Queue empty and every sender dropped.
+        Disconnected,
+    }
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            cond: Condvar::new(),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().senders += 1;
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                self.shared.cond.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().receivers += 1;
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.inner.lock().unwrap().receivers -= 1;
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Append `msg` to the queue, waking one waiting receiver.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.cond.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.cond.wait(inner).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            match inner.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Block until a message arrives, `timeout` elapses, or all
+        /// senders disconnect.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(Instant::now() + timeout)
+        }
+
+        /// Block until a message arrives, `deadline` passes, or all
+        /// senders disconnect.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self.shared.cond.wait_timeout(inner, deadline - now).unwrap();
+                inner = guard;
+            }
+        }
+
+        /// Number of queued messages (diagnostics).
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_single_producer() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn timeout_when_empty() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn disconnect_unblocks_recv() {
+        let (tx, rx) = unbounded::<u32>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert!(h.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn mpmc_across_threads() {
+        let (tx, rx) = unbounded::<u64>();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..250 {
+                        tx.send(t * 1000 + i).unwrap();
+                    }
+                });
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.try_recv() {
+            got.push(v);
+        }
+        assert_eq!(got.len(), 1000);
+        // Per-producer FIFO: each thread's values appear in send order.
+        for t in 0..4u64 {
+            let mine: Vec<u64> = got.iter().copied().filter(|v| v / 1000 == t).collect();
+            assert!(mine.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn try_recv_reports_empty() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv(), Ok(5));
+    }
+}

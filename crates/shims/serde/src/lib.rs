@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`: exposes the `Serialize`/`Deserialize`
+//! names (as no-op derives plus marker traits) so `#[derive(Serialize,
+//! Deserialize)]` compiles. Nothing in the workspace performs actual
+//! serialization; when a real wire format lands, swap this shim for the
+//! real crate by restoring the registry dependency.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::ser::Serialize` (never implemented by
+/// the no-op derive; present so trait bounds keep resolving if written).
+pub trait SerializeTrait {}
+
+/// Marker trait mirroring `serde::de::Deserialize` (see
+/// [`SerializeTrait`]).
+pub trait DeserializeTrait {}

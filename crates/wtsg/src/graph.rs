@@ -83,10 +83,7 @@ where
     {
         let mut nodes: Vec<WtsNode<V, T>> = Vec::new();
         for w in witnesses {
-            match nodes
-                .iter_mut()
-                .find(|n| n.ts == w.ts && n.value == w.value)
-            {
+            match nodes.iter_mut().find(|n| n.ts == w.ts && n.value == w.value) {
                 Some(n) => {
                     n.witnesses.insert(w.server);
                     n.best_recency = n.best_recency.min(w.recency);
@@ -139,9 +136,7 @@ where
     /// Indices of nodes whose weight is at least `threshold` (the
     /// `node.weight ≥ 2f+1` test of Figure 2a lines 10/16).
     pub fn candidates(&self, threshold: usize) -> Vec<usize> {
-        (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].weight() >= threshold)
-            .collect()
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].weight() >= threshold).collect()
     }
 
     /// Whether node `i` has an edge to node `j`.
@@ -173,20 +168,13 @@ mod tests {
         );
         assert_eq!(g.node_count(), 3);
         // (1,"a") has two witnesses, others one.
-        let n = g
-            .nodes()
-            .iter()
-            .find(|n| n.ts == 1 && n.value == "a")
-            .unwrap();
+        let n = g.nodes().iter().find(|n| n.ts == 1 && n.value == "a").unwrap();
         assert_eq!(n.weight(), 2);
     }
 
     #[test]
     fn duplicate_server_testimony_collapses() {
-        let g = WtsGraph::build(
-            &UnboundedLabeling,
-            vec![w(0, "a", 1), w(0, "a", 1), w(0, "a", 1)],
-        );
+        let g = WtsGraph::build(&UnboundedLabeling, vec![w(0, "a", 1), w(0, "a", 1), w(0, "a", 1)]);
         assert_eq!(g.node_count(), 1);
         assert_eq!(g.nodes()[0].weight(), 1);
     }

@@ -87,38 +87,28 @@ where
         // space is corrupted): fall back to all candidates.
         sinks = cands;
     }
-    sinks
-        .into_iter()
-        .map(|i| &graph.nodes()[i])
-        .min_by(|a, b| {
-            // Freshest testimony first (keeps union decisions from
-            // resurrecting long-superseded values), then heaviest, then a
-            // deterministic structural residue.
-            a.best_recency
-                .cmp(&b.best_recency)
-                .then_with(|| b.weight().cmp(&a.weight()))
-                .then_with(|| a.ts.cmp(&b.ts).then_with(|| a.value.cmp(&b.value)))
-        })
+    sinks.into_iter().map(|i| &graph.nodes()[i]).min_by(|a, b| {
+        // Freshest testimony first (keeps union decisions from
+        // resurrecting long-superseded values), then heaviest, then a
+        // deterministic structural residue.
+        a.best_recency
+            .cmp(&b.best_recency)
+            .then_with(|| b.weight().cmp(&a.weight()))
+            .then_with(|| a.ts.cmp(&b.ts).then_with(|| a.value.cmp(&b.value)))
+    })
 }
 
 /// Ablation rule: pick the heaviest qualifying node, ignoring precedence.
-pub fn select_max_weight<V, T>(
-    graph: &WtsGraph<V, T>,
-    threshold: usize,
-) -> Option<&WtsNode<V, T>>
+pub fn select_max_weight<V, T>(graph: &WtsGraph<V, T>, threshold: usize) -> Option<&WtsNode<V, T>>
 where
     V: Clone + Eq + Ord + Hash + Debug,
     T: Clone + Eq + Ord + Hash + Debug,
 {
-    graph
-        .nodes()
-        .iter()
-        .filter(|n| n.weight() >= threshold)
-        .max_by(|a, b| {
-            a.weight()
-                .cmp(&b.weight())
-                .then_with(|| b.ts.cmp(&a.ts).then_with(|| b.value.cmp(&a.value)))
-        })
+    graph.nodes().iter().filter(|n| n.weight() >= threshold).max_by(|a, b| {
+        a.weight()
+            .cmp(&b.weight())
+            .then_with(|| b.ts.cmp(&a.ts).then_with(|| b.value.cmp(&a.value)))
+    })
 }
 
 #[cfg(test)]
@@ -188,12 +178,7 @@ mod tests {
     fn deterministic_tiebreak_on_equal_ts() {
         // Two incomparable candidates (same ts, different values — only
         // possible under corruption): the structural order decides, stably.
-        let g = graph(vec![
-            w(0, "a", 5),
-            w(1, "a", 5),
-            w(2, "b", 5),
-            w(3, "b", 5),
-        ]);
+        let g = graph(vec![w(0, "a", 5), w(1, "a", 5), w(2, "b", 5), w(3, "b", 5)]);
         let n1 = select_return_value(&UnboundedLabeling, &g, 2).unwrap().value.clone();
         let n2 = select_return_value(&UnboundedLabeling, &g, 2).unwrap().value.clone();
         assert_eq!(n1, n2);

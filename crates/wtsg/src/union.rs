@@ -77,23 +77,11 @@ mod tests {
         // Mid-write: servers 0-1 already adopted ("new", 2), servers 2-4
         // still hold ("old", 1). Locally neither value reaches weight 5,
         // but every early adopter still has "old" in its history.
-        let current = vec![
-            w(0, "new", 2),
-            w(1, "new", 2),
-            w(2, "old", 1),
-            w(3, "old", 1),
-            w(4, "old", 1),
-        ];
-        let histories = vec![
-            (0usize, vec![h("old", 1)]),
-            (1usize, vec![h("old", 1)]),
-        ];
+        let current =
+            vec![w(0, "new", 2), w(1, "new", 2), w(2, "old", 1), w(3, "old", 1), w(4, "old", 1)];
+        let histories = vec![(0usize, vec![h("old", 1)]), (1usize, vec![h("old", 1)])];
         let g = build_union(&UnboundedLabeling, current, histories);
-        let old = g
-            .nodes()
-            .iter()
-            .find(|n| n.value == "old" && n.ts == 1)
-            .unwrap();
+        let old = g.nodes().iter().find(|n| n.value == "old" && n.ts == 1).unwrap();
         assert_eq!(old.weight(), 5);
     }
 

@@ -40,8 +40,6 @@ fn main() {
         assert_eq!(got, value + 1);
         println!("[t={:>6}] bob   got {key} -> {got:#x} (healed)", store.now());
     }
-    store
-        .check_all_from(stable)
-        .expect("every key's post-stabilization suffix is regular");
+    store.check_all_from(stable).expect("every key's post-stabilization suffix is regular");
     println!("all {} keys verified regular after self-healing", objects.len());
 }

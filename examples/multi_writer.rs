@@ -85,8 +85,6 @@ fn main() {
         "\n{} concurrent writers × {} writes; {} reads, {} via the union fallback",
         WRITERS, BURST, reads, unions
     );
-    cluster
-        .check_history()
-        .expect("MWMR regularity holds under full write concurrency");
+    cluster.check_history().expect("MWMR regularity holds under full write concurrency");
     println!("MWMR regularity verified across {} operations", cluster.recorder.ops().len());
 }

@@ -17,15 +17,10 @@ fn main() {
     println!("wrote 1234 with bounded timestamp {ts:?}");
 
     let got = cluster.read(reader).expect("reads terminate (Lemma 6)");
-    println!(
-        "read {} (witnessed at {:?}, union fallback: {})",
-        got.value, got.ts, got.via_union
-    );
+    println!("read {} (witnessed at {:?}, union fallback: {})", got.value, got.ts, got.via_union);
     assert_eq!(got.value, 1234);
 
-    cluster
-        .check_history()
-        .expect("the recorded history satisfies MWMR regularity");
+    cluster.check_history().expect("the recorded history satisfies MWMR regularity");
     println!(
         "history of {} operations verified regular; {} messages exchanged",
         cluster.recorder.ops().len(),

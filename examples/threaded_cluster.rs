@@ -1,77 +1,56 @@
-//! The same sans-IO automata on real OS threads: every server and client
-//! is a thread, channels are crossbeam FIFO queues, and four application
-//! threads drive operations concurrently at wall-clock speed.
+//! The same sans-IO automata on real OS threads, driven through the same
+//! `RegisterCluster` scenario driver the simulator experiments use — the
+//! only difference is `build_threaded()` instead of `build()`.
 //!
 //! ```text
 //! cargo run --release --example threaded_cluster
 //! ```
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use sbft::labels::{BoundedLabeling, MwmrLabeling};
-use sbft::net::{Automaton, ThreadedCluster};
-use sbft::register::client::Client;
-use sbft::register::config::ClusterConfig;
-use sbft::register::messages::{ClientEvent, Msg};
-use sbft::register::reader::ReaderOptions;
-use sbft::register::server::Server;
-use sbft::register::Ts;
-
-type B = BoundedLabeling;
-type M = Msg<Ts<B>>;
-type E = ClientEvent<Ts<B>>;
+use sbft::register::cluster::{Op, RegisterCluster};
 
 fn main() {
     const CLIENTS: usize = 4;
-    const OPS_PER_CLIENT: u64 = 200;
+    const ROUNDS: u64 = 200;
 
-    let cfg = ClusterConfig::stabilizing(1);
-    let sys = MwmrLabeling::new(BoundedLabeling::new(cfg.label_k()));
-
-    let mut procs: Vec<Box<dyn Automaton<M, E>>> = Vec::new();
-    for _ in 0..cfg.n {
-        procs.push(Box::new(Server::<B>::new(sys.clone(), cfg)));
-    }
-    for i in 0..CLIENTS {
-        let pid = cfg.client_pid(i);
-        procs.push(Box::new(Client::<B>::new(sys.clone(), cfg, pid as u32, ReaderOptions::default())));
-    }
-    let cluster: ThreadedCluster<M, E> = ThreadedCluster::spawn(procs, 9);
-    println!("spawned {} server threads + {CLIENTS} client threads", cfg.n);
+    let mut cluster = RegisterCluster::bounded(1).clients(CLIENTS).seed(9).build_threaded();
+    println!(
+        "spawned {} server threads + {CLIENTS} client threads (backend: {:?})",
+        cluster.cfg.n,
+        cluster.backend()
+    );
 
     let start = Instant::now();
-    let total: usize = std::thread::scope(|s| {
-        (0..CLIENTS)
+    let mut total = 0usize;
+    for round in 0..ROUNDS {
+        // One concurrent operation per client, alternating write/read.
+        let ops: Vec<(usize, Op)> = (0..CLIENTS)
             .map(|i| {
-                let cluster = &cluster;
-                let pid = cfg.client_pid(i);
-                s.spawn(move || {
-                    let mut done = 0;
-                    for op in 0..OPS_PER_CLIENT {
-                        let msg = if op % 2 == 0 {
-                            Msg::InvokeWrite { value: ((i as u64) << 32) | op }
-                        } else {
-                            Msg::InvokeRead
-                        };
-                        if cluster.invoke_and_wait(pid, msg, Duration::from_secs(30)).is_some() {
-                            done += 1;
-                        }
-                    }
-                    done
-                })
+                let op = if (round + i as u64).is_multiple_of(2) {
+                    Op::Write(((i as u64) << 32) | round)
+                } else {
+                    Op::Read
+                };
+                (i, op)
             })
-            .collect::<Vec<_>>()
-            .into_iter()
-            .map(|h| h.join().unwrap())
-            .sum()
-    });
+            .collect();
+        total += cluster.run_concurrent(&ops).iter().flatten().count();
+    }
     let elapsed = start.elapsed();
-    cluster.shutdown();
 
+    let metrics = cluster.metrics();
     println!(
-        "{total} operations in {:?} — {:.0} ops/sec across {CLIENTS} concurrent clients",
-        elapsed,
+        "{total} operations in {elapsed:?} — {:.0} ops/sec across {CLIENTS} concurrent clients",
         total as f64 / elapsed.as_secs_f64()
     );
-    assert_eq!(total as u64, CLIENTS as u64 * OPS_PER_CLIENT);
+    println!(
+        "network: {} sent, {} delivered, {} events",
+        metrics.messages_sent, metrics.messages_delivered, metrics.events_processed
+    );
+    if let Err(e) = cluster.check_history() {
+        panic!("recorded history must be regular: {e:?}");
+    }
+    cluster.stop();
+    assert_eq!(total as u64, CLIENTS as u64 * ROUNDS);
 }

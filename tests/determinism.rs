@@ -26,12 +26,7 @@ fn fingerprint(seed: u64) -> (u64, u64, u64, String) {
         .iter()
         .map(|o| format!("{:?}@{}..{:?}:{:?};", o.kind, o.invoked_at, o.returned_at, o.outcome))
         .collect();
-    (
-        c.now(),
-        c.metrics().messages_sent,
-        c.metrics().events_processed,
-        hist,
-    )
+    (c.now(), c.metrics().messages_sent, c.metrics().events_processed, hist)
 }
 
 #[test]
@@ -47,11 +42,7 @@ fn identical_seeds_produce_identical_executions() {
 fn different_seeds_produce_different_schedules() {
     let a = fingerprint(1);
     let b = fingerprint(2);
-    assert_ne!(
-        (a.0, a.1),
-        (b.0, b.1),
-        "different seeds should explore different schedules"
-    );
+    assert_ne!((a.0, a.1), (b.0, b.1), "different seeds should explore different schedules");
 }
 
 /// A pinned golden: if this changes, the simulator's event ordering or the

@@ -27,11 +27,8 @@ fn fault_free_many_seeds() {
 fn byzantine_sweep_many_seeds() {
     for strategy in ByzStrategy::all() {
         for seed in 0..5 {
-            let mut c = RegisterCluster::bounded(1)
-                .byzantine_tail(strategy)
-                .clients(2)
-                .seed(seed)
-                .build();
+            let mut c =
+                RegisterCluster::bounded(1).byzantine_tail(strategy).clients(2).seed(seed).build();
             let (w, r) = (c.client(0), c.client(1));
             for v in 1..=3 {
                 c.write(w, v).unwrap_or_else(|e| panic!("{strategy:?}/{seed}: {e:?}"));
@@ -66,11 +63,9 @@ fn larger_cluster_f2() {
 /// complete write is always regular (Theorem 2).
 #[test]
 fn stabilization_from_every_severity() {
-    for severity in [
-        CorruptionSeverity::Light,
-        CorruptionSeverity::Heavy,
-        CorruptionSeverity::Adversarial,
-    ] {
+    for severity in
+        [CorruptionSeverity::Light, CorruptionSeverity::Heavy, CorruptionSeverity::Adversarial]
+    {
         for seed in 0..5 {
             let mut c = RegisterCluster::bounded(1).clients(2).seed(seed).build();
             let (w, r) = (c.client(0), c.client(1));

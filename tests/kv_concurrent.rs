@@ -17,11 +17,12 @@ fn pump_two(
         let now = store.sim.now() + 1;
         match op {
             Some(v) => {
-                store
-                    .recorders
-                    .entry(key)
-                    .or_default()
-                    .begin_with_intent(pid, OpKind::Write, now, Some(v));
+                store.recorders.entry(key).or_default().begin_with_intent(
+                    pid,
+                    OpKind::Write,
+                    now,
+                    Some(v),
+                );
                 store.sim.inject(pid, sbft::kv::KvMsg::new(key, Msg::InvokeWrite { value: v }));
             }
             None => {

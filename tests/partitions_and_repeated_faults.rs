@@ -71,10 +71,7 @@ fn repeated_transient_faults_each_restabilize() {
             assert_eq!(got.value, round * 100, "round {round}");
         }
         c.settle(150_000);
-        assert!(
-            c.check_history_from(stable).is_ok(),
-            "round {round} suffix must be regular"
-        );
+        assert!(c.check_history_from(stable).is_ok(), "round {round} suffix must be regular");
     }
 }
 

@@ -27,7 +27,7 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     /// Any interleaving of sequential ops, concurrent batches, and
     /// transient faults keeps the post-write suffixes regular and all

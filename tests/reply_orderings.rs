@@ -95,10 +95,7 @@ fn every_reply_ordering_returns_a_legitimate_value() {
     let mut saw_new = false;
     for (i, order) in orders.iter().enumerate() {
         let v = run_with_order(order);
-        assert!(
-            v == 1 || v == 2,
-            "order #{i} {order:?} returned illegitimate {v}"
-        );
+        assert!(v == 1 || v == 2, "order #{i} {order:?} returned illegitimate {v}");
         saw_old |= v == 1;
         saw_new |= v == 2;
     }

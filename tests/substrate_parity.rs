@@ -3,13 +3,19 @@
 //! the data-link substrate provides the FIFO property the register
 //! assumes.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 
+use proptest::collection;
+use proptest::prelude::*;
 use sbft::datalink::DatalinkSim;
 use sbft::labels::{BoundedLabeling, MwmrLabeling};
-use sbft::net::{Automaton, ThreadedCluster};
+use sbft::net::{
+    AnySubstrate, Automaton, Backend, Ctx, ProcessId, Pumped, Substrate, SubstrateConfig,
+    ThreadedCluster, ENV,
+};
 use sbft::register::client::Client;
-use sbft::register::cluster::RegisterCluster;
+use sbft::register::cluster::{Op, RegisterCluster};
 use sbft::register::config::ClusterConfig;
 use sbft::register::messages::{ClientEvent, Msg};
 use sbft::register::reader::ReaderOptions;
@@ -29,7 +35,12 @@ fn spawn_threaded(f: usize, clients: usize, seed: u64) -> (ClusterConfig, Thread
     }
     for i in 0..clients {
         let pid = cfg.client_pid(i);
-        procs.push(Box::new(Client::<B>::new(sys.clone(), cfg, pid as u32, ReaderOptions::default())));
+        procs.push(Box::new(Client::<B>::new(
+            sys.clone(),
+            cfg,
+            pid as u32,
+            ReaderOptions::default(),
+        )));
     }
     (cfg, ThreadedCluster::spawn(procs, seed))
 }
@@ -63,9 +74,8 @@ fn threaded_sequential_reads_do_not_regress() {
         cluster
             .invoke_and_wait(w, Msg::InvokeWrite { value: v }, Duration::from_secs(30))
             .expect("write");
-        let ev = cluster
-            .invoke_and_wait(r, Msg::InvokeRead, Duration::from_secs(30))
-            .expect("read");
+        let ev =
+            cluster.invoke_and_wait(r, Msg::InvokeRead, Duration::from_secs(30)).expect("read");
         if let ClientEvent::ReadDone { value, .. } = ev {
             assert!(value >= last, "reads regressed: {value} after {last}");
             last = value;
@@ -87,7 +97,11 @@ fn simulator_and_threads_agree_on_final_value() {
     let (cfg, cluster) = spawn_threaded(1, 2, 3);
     for v in 1..=7u64 {
         cluster
-            .invoke_and_wait(cfg.client_pid(0), Msg::InvokeWrite { value: v }, Duration::from_secs(30))
+            .invoke_and_wait(
+                cfg.client_pid(0),
+                Msg::InvokeWrite { value: v },
+                Duration::from_secs(30),
+            )
             .expect("write");
     }
     let ev = cluster
@@ -101,6 +115,118 @@ fn simulator_and_threads_agree_on_final_value() {
 
     assert_eq!(sim_final, 7);
     assert_eq!(thr_final, 7);
+}
+
+/// Collects `(sender, seq)` for every delivered message.
+struct Sink;
+
+impl Automaton<u64, (ProcessId, u64)> for Sink {
+    fn on_message(&mut self, from: ProcessId, msg: u64, ctx: &mut Ctx<'_, u64, (ProcessId, u64)>) {
+        if from != ENV {
+            ctx.output((from, msg));
+        }
+    }
+}
+
+/// On an ENV kick carrying `n`, fires a burst of `n` sequenced messages
+/// at the sink.
+struct Source;
+
+impl Automaton<u64, (ProcessId, u64)> for Source {
+    fn on_message(&mut self, from: ProcessId, msg: u64, ctx: &mut Ctx<'_, u64, (ProcessId, u64)>) {
+        if from == ENV {
+            for seq in 0..msg {
+                ctx.send(0, seq);
+            }
+        }
+    }
+}
+
+/// Run `bursts[i]` messages from source `i + 1` to the sink at pid 0 and
+/// return the per-sender delivery order observed by the sink.
+fn observed_order(backend: Backend, bursts: &[u64], seed: u64) -> BTreeMap<ProcessId, Vec<u64>> {
+    let mut procs: Vec<Box<dyn Automaton<u64, (ProcessId, u64)>>> = vec![Box::new(Sink)];
+    for _ in bursts {
+        procs.push(Box::new(Source));
+    }
+    let mut sub = AnySubstrate::spawn(backend, procs, &SubstrateConfig::seeded(seed));
+    for (i, &n) in bursts.iter().enumerate() {
+        sub.inject(i + 1, n);
+    }
+    let expected: u64 = bursts.iter().sum();
+    let mut seen: BTreeMap<ProcessId, Vec<u64>> = BTreeMap::new();
+    let mut got = 0u64;
+    let mut idle = 0u32;
+    while got < expected && idle < 50 {
+        match sub.pump() {
+            Pumped::Quiescent => break,
+            Pumped::Idle => idle += 1,
+            Pumped::Event { outputs, .. } => {
+                idle = 0;
+                for (from, seq) in outputs {
+                    seen.entry(from).or_default().push(seq);
+                    got += 1;
+                }
+            }
+        }
+    }
+    sub.stop();
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// Per-sender FIFO: whatever the interleaving across senders, each
+    /// sender's messages arrive in send order — on both substrates.
+    #[test]
+    fn per_sender_fifo_holds_on_both_substrates(
+        bursts in collection::vec(1u64..20, 1..4),
+        seed in 0u64..1000,
+    ) {
+        for backend in [Backend::Sim, Backend::Threaded] {
+            let seen = observed_order(backend, &bursts, seed);
+            for (i, &n) in bursts.iter().enumerate() {
+                let order = seen.get(&(i + 1)).cloned().unwrap_or_default();
+                let expected: Vec<u64> = (0..n).collect();
+                prop_assert_eq!(
+                    &order, &expected,
+                    "{:?}: sender {} out of order", backend, i + 1
+                );
+            }
+        }
+    }
+
+    /// Same seed, same sequential workload → identical client-visible
+    /// outcomes on the simulator and on real threads.
+    #[test]
+    fn same_seed_same_outcomes_on_both_substrates(
+        ops in collection::vec(
+            (0usize..2, prop_oneof![(1u64..1000).prop_map(Op::Write), Just(Op::Read)]),
+            1..10,
+        ),
+        seed in 0u64..1000,
+    ) {
+        let run = |backend: Backend| {
+            let mut c = RegisterCluster::bounded(1)
+                .clients(2)
+                .seed(seed)
+                .backend(backend)
+                .build_any();
+            let mut outcomes: Vec<(char, u64)> = Vec::new();
+            for &(ci, op) in &ops {
+                let pid = c.client(ci);
+                match op {
+                    Op::Write(v) => outcomes.push(('w', u64::from(c.write(pid, v).is_ok()))),
+                    Op::Read => outcomes.push(('r', c.read(pid).map(|r| r.value).unwrap_or(u64::MAX))),
+                }
+            }
+            assert!(c.check_history().is_ok(), "{backend:?} history irregular");
+            c.stop();
+            outcomes
+        };
+        prop_assert_eq!(run(Backend::Sim), run(Backend::Threaded));
+    }
 }
 
 #[test]
