@@ -14,8 +14,9 @@ fn main() {
     let csv = args.iter().any(|a| a == "--csv");
     let arg =
         args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
-    let quick = arg == "quick";
-    let want = |name: &str| arg == "all" || quick || arg == name;
+    // `quick` scales experiments down; only the bare word selects them all.
+    let quick = arg == "quick" || args.iter().any(|a| a == "--quick");
+    let want = |name: &str| arg == "all" || arg == "quick" || arg == name;
 
     let mut printed = false;
     let mut emit = |t: Table| {
@@ -71,6 +72,9 @@ fn main() {
     if want("e13") {
         emit(e13_kv_store::run(7));
     }
+    if want("e14") {
+        emit(e14_chaos::run(if quick { 3 } else { 10 }, if quick { 1 } else { 2 }));
+    }
     if want("ablations") {
         emit(ablations::ablate_selection(seeds.min(5)));
         emit(ablations::ablate_union(seeds.min(5)));
@@ -78,7 +82,9 @@ fn main() {
     }
 
     if !printed {
-        eprintln!("unknown experiment {arg:?}; use all | quick | e1..e13 | ablations [--csv]");
+        eprintln!(
+            "unknown experiment {arg:?}; use all | quick | e1..e14 | ablations [--csv|--quick]"
+        );
         std::process::exit(2);
     }
 }

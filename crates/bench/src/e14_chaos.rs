@@ -1,0 +1,302 @@
+//! **E14 — chaos soak under the nemesis**: long seeded fault schedules
+//! (crash+restart, partition, flaky links, transient corruption, mobile
+//! Byzantine relocation) against a live read/write workload with the
+//! client retry policy engaged, on both substrate backends.
+//!
+//! The claim under test is the composition of the paper's guarantees with
+//! crash-recovery and link faults: **regularity holds in every stable
+//! window** — every interval that starts at the first completed write
+//! after all disturbances healed and ends when the next disturbance
+//! fires. Operations overlapping a disturbance may abort, time out, or
+//! exhaust their retries (tallied, not failed), but once the *last* fault
+//! heals, a write and a read must complete and the recorded history
+//! restricted to the stable windows must show zero violations.
+//!
+//! Disturbance windows are serialized by the schedule generator (at most
+//! one honest server is disturbed at any time), so the `f = 1` resilience
+//! bound stays respected throughout: one Byzantine seat plus at most one
+//! crashed/partitioned/corrupted honest server still leaves every
+//! completed write on `≥ 3f + 1` honest servers of which at least
+//! `2f + 1` answer any read quorum.
+
+use sbft_core::adversary::{random_message, ByzServer, ByzStrategy};
+use sbft_core::cluster::{AnyRegisterSubstrate, OpOutcome, RegisterCluster};
+use sbft_core::messages::{ClientEvent, Msg};
+use sbft_core::server::Server;
+use sbft_core::{RetryPolicy, Ts};
+use sbft_labels::BoundedLabeling;
+use sbft_net::nemesis::{AutomatonFactory, NemesisOpts, NemesisRunner, NemesisSchedule};
+use sbft_net::{Automaton, Backend};
+
+use crate::table::Table;
+
+type B = BoundedLabeling;
+type M = Msg<Ts<B>>;
+type O = ClientEvent<Ts<B>>;
+
+/// Safety cap on workload rounds per seed.
+const MAX_ROUNDS: u64 = 4_000;
+
+/// Nemesis event kinds that open a disturbance window.
+const DISTURBANCE_KINDS: [&str; 5] =
+    ["crash", "partition", "link-fault", "corrupt", "relocate-byz"];
+
+/// Aggregated chaos-soak measurements for one backend.
+#[derive(Clone, Debug)]
+pub struct E14Cell {
+    /// Backend the soak ran on.
+    pub backend: Backend,
+    /// Seeds run.
+    pub seeds: usize,
+    /// Nemesis events fired in total.
+    pub events_fired: u64,
+    /// Minimum distinct disturbance kinds fired by any one schedule.
+    pub min_distinct_kinds: usize,
+    /// Completed writes / reads.
+    pub writes_ok: u64,
+    /// Completed reads.
+    pub reads_ok: u64,
+    /// Read aborts surfaced (single-attempt policies only; 0 here).
+    pub aborted: u64,
+    /// Operations that died on a lone deadline (or a stuck driver).
+    pub timed_out: u64,
+    /// Operations that burned through every retry.
+    pub exhausted: u64,
+    /// Heals observed (disturbance windows closed).
+    pub heals: u64,
+    /// Summed time from each heal to the next fully-successful round.
+    pub reconverge_ticks: u64,
+    /// Operations that failed *after* the last fault healed (must be 0).
+    pub post_heal_failures: u64,
+    /// Regularity violations inside stable windows (must be 0).
+    pub violations: usize,
+}
+
+impl E14Cell {
+    fn tally<T>(&mut self, out: &OpOutcome<T>, is_write: bool) {
+        match out {
+            OpOutcome::Ok(_) if is_write => self.writes_ok += 1,
+            OpOutcome::Ok(_) => self.reads_ok += 1,
+            OpOutcome::Aborted => self.aborted += 1,
+            OpOutcome::TimedOut { .. } => self.timed_out += 1,
+            OpOutcome::Exhausted { .. } => self.exhausted += 1,
+        }
+    }
+
+    /// Mean heal-to-reconvergence time in substrate ticks.
+    pub fn mean_reconverge(&self) -> u64 {
+        self.reconverge_ticks.checked_div(self.heals).unwrap_or(0)
+    }
+}
+
+/// Run the chaos soak on one backend across `seeds` seeds.
+pub fn run_backend(backend: Backend, seeds: u64) -> E14Cell {
+    let mut cell = E14Cell {
+        backend,
+        seeds: seeds as usize,
+        events_fired: 0,
+        min_distinct_kinds: usize::MAX,
+        writes_ok: 0,
+        reads_ok: 0,
+        aborted: 0,
+        timed_out: 0,
+        exhausted: 0,
+        heals: 0,
+        reconverge_ticks: 0,
+        post_heal_failures: 0,
+        violations: 0,
+    };
+    let strategies = ByzStrategy::all();
+    for seed in 0..seeds {
+        let strat = strategies[seed as usize % strategies.len()];
+        run_seed(&mut cell, backend, seed, strat);
+    }
+    if cell.min_distinct_kinds == usize::MAX {
+        cell.min_distinct_kinds = 0;
+    }
+    cell
+}
+
+fn run_seed(cell: &mut E14Cell, backend: Backend, seed: u64, strat: ByzStrategy) {
+    let byz_seat = 5usize; // last server of the n = 6, f = 1 cluster
+    let mut c = RegisterCluster::bounded(1)
+        .clients(2)
+        .byzantine(byz_seat, strat)
+        .seed(seed)
+        .backend(backend)
+        .retry(RetryPolicy::chaos())
+        .build_any();
+    let opts = NemesisOpts {
+        servers: c.cfg.n,
+        total_procs: c.cfg.n + 2,
+        byz_seat: Some(byz_seat),
+        ..NemesisOpts::default()
+    };
+    let schedule = NemesisSchedule::random(seed, &opts);
+    let mut runner = make_runner(&c, schedule, byz_seat, strat);
+
+    let (w, r) = (c.client(0), c.client(1));
+    let mut value = 1u64;
+    // Stable-window bookkeeping: a window opens at the first completed
+    // write with no disturbance active, and closes the moment the next
+    // disturbance fires.
+    let mut stable_open: Option<u64> = None;
+    let mut windows: Vec<(u64, u64)> = Vec::new();
+    let mut clears_consumed = 0usize;
+
+    // Seed the register (and the first stable window) before the chaos.
+    let first = c.write_outcome(w, value);
+    cell.tally(&first, true);
+    if first.is_ok() {
+        stable_open = Some(c.now());
+    }
+
+    let mut rounds = 0u64;
+    while !runner.done() && rounds < MAX_ROUNDS {
+        rounds += 1;
+        let before = c.now();
+        let fired_from = runner.log.len();
+        runner.fire_due(&mut c.sim);
+        if runner.log[fired_from..].iter().any(|(_, k)| DISTURBANCE_KINDS.contains(k)) {
+            if let Some(start) = stable_open.take() {
+                let end = c.now();
+                if end > start {
+                    windows.push((start, end));
+                }
+            }
+        }
+
+        value += 1;
+        let wout = c.write_outcome(w, value);
+        cell.tally(&wout, true);
+        let rout = c.read_outcome(r);
+        cell.tally(&rout, false);
+
+        if wout.is_ok() && runner.all_clear() && stable_open.is_none() {
+            stable_open = Some(c.now());
+        }
+        if wout.is_ok() && rout.is_ok() && runner.all_clear() {
+            while clears_consumed < runner.clear_times.len() {
+                let healed_at = runner.clear_times[clears_consumed];
+                cell.reconverge_ticks += c.now().saturating_sub(healed_at);
+                cell.heals += 1;
+                clears_consumed += 1;
+            }
+        }
+
+        // Safety valve: if the substrate clock stalled (possible only in
+        // pathological schedules), fast-forward the next nemesis event so
+        // the soak always terminates.
+        if c.now() == before && !runner.done() {
+            runner.fire_next(&mut c.sim);
+        }
+    }
+
+    // The schedule is exhausted and every window healed: liveness must be
+    // back. One write + one read, both required to complete.
+    value += 1;
+    let wout = c.write_outcome(w, value);
+    cell.tally(&wout, true);
+    let rout = c.read_outcome(r);
+    cell.tally(&rout, false);
+    if !wout.is_ok() || !rout.is_ok() {
+        cell.post_heal_failures += 1;
+    }
+    if wout.is_ok() && stable_open.is_none() {
+        stable_open = Some(c.now());
+    }
+    c.settle(200_000);
+    if let Some(start) = stable_open.take() {
+        windows.push((start, u64::MAX));
+    }
+    for (start, end) in windows {
+        if let Err(errs) = c.recorder.check_window(&c.sys, start, end) {
+            cell.violations += errs.len();
+        }
+    }
+    cell.events_fired += runner.events_fired();
+    cell.min_distinct_kinds = cell.min_distinct_kinds.min(runner.distinct_disturbances_fired());
+    c.stop();
+}
+
+fn make_runner(
+    c: &RegisterCluster<B, AnyRegisterSubstrate<B>>,
+    schedule: NemesisSchedule,
+    byz_seat: usize,
+    strat: ByzStrategy,
+) -> NemesisRunner<M, O> {
+    let cfg = c.cfg;
+    let sys_h = c.sys.clone();
+    let make_honest: AutomatonFactory<M, O> =
+        Box::new(move |_pid| Box::new(Server::new(sys_h.clone(), cfg)) as Box<dyn Automaton<M, O>>);
+    let sys_b = c.sys.clone();
+    let make_byz: AutomatonFactory<M, O> = Box::new(move |_pid| {
+        Box::new(ByzServer::new(sys_b.clone(), cfg, strat)) as Box<dyn Automaton<M, O>>
+    });
+    let sys_g = c.sys.clone();
+    let garbage =
+        Box::new(move |rng: &mut rand::rngs::StdRng| random_message::<B>(&sys_g, &cfg, rng));
+    NemesisRunner::new(schedule, make_honest, Some(make_byz), Some(byz_seat), garbage)
+}
+
+/// The E14 table: one row per backend.
+pub fn run(sim_seeds: u64, threaded_seeds: u64) -> Table {
+    let mut t = Table::new(
+        "E14: chaos soak — seeded nemesis schedules vs. retrying clients (f = 1, byz seat mobile)",
+        &[
+            "backend",
+            "seeds",
+            "nemesis events",
+            "distinct kinds (min)",
+            "writes ok",
+            "reads ok",
+            "timed out",
+            "exhausted",
+            "heals",
+            "mean reconverge",
+            "post-heal failures",
+            "stable-window violations",
+        ],
+    );
+    for (backend, seeds) in [(Backend::Sim, sim_seeds), (Backend::Threaded, threaded_seeds)] {
+        let c = run_backend(backend, seeds);
+        t.row(vec![
+            format!("{backend:?}"),
+            c.seeds.to_string(),
+            c.events_fired.to_string(),
+            c.min_distinct_kinds.to_string(),
+            c.writes_ok.to_string(),
+            c.reads_ok.to_string(),
+            c.timed_out.to_string(),
+            c.exhausted.to_string(),
+            c.heals.to_string(),
+            c.mean_reconverge().to_string(),
+            c.post_heal_failures.to_string(),
+            c.violations.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_soak_has_zero_stable_window_violations() {
+        let cell = run_backend(Backend::Sim, 3);
+        assert_eq!(cell.violations, 0, "{cell:?}");
+        assert_eq!(cell.post_heal_failures, 0, "{cell:?}");
+        assert!(cell.min_distinct_kinds >= 5, "{cell:?}");
+        assert!(cell.writes_ok > 0 && cell.reads_ok > 0, "{cell:?}");
+        assert!(cell.heals > 0, "{cell:?}");
+    }
+
+    #[test]
+    fn threaded_soak_survives_the_schedule() {
+        let cell = run_backend(Backend::Threaded, 1);
+        assert_eq!(cell.violations, 0, "{cell:?}");
+        assert_eq!(cell.post_heal_failures, 0, "{cell:?}");
+        assert!(cell.events_fired > 0, "{cell:?}");
+    }
+}

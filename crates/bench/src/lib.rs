@@ -18,6 +18,7 @@ pub mod e10_datalink;
 pub mod e11_byzantine_readers;
 pub mod e12_atomicity;
 pub mod e13_kv_store;
+pub mod e14_chaos;
 pub mod e1_lower_bound;
 pub mod e2_termination;
 pub mod e3_propagation;

@@ -24,8 +24,26 @@ use sbft_net::{Automaton, Ctx, ProcessId, ENV};
 use crate::config::ClusterConfig;
 use crate::messages::{ClientEvent, Msg, ValTs, Value};
 use crate::reader::{ReadDecision, ReadPhase, ReaderOptions};
+use crate::retry::RetryPolicy;
 use crate::writer::WritePhase;
 use crate::{Sys, Ts};
+
+/// Timer-id encoding: `(epoch << 1) | kind`. The epoch ties a timer to one
+/// specific attempt, so timers armed by finished attempts are ignored when
+/// they eventually fire.
+const TIMER_KIND_DEADLINE: u64 = 0;
+const TIMER_KIND_BACKOFF: u64 = 1;
+
+fn timer_id(kind: u64, epoch: u64) -> u64 {
+    (epoch << 1) | kind
+}
+
+/// The operation a backoff will re-enter.
+#[derive(Clone, Copy, Debug)]
+enum RetryOp {
+    Write(Value),
+    Read,
+}
 
 /// What the client is currently doing.
 enum Phase<B: LabelingSystem> {
@@ -40,6 +58,8 @@ enum Phase<B: LabelingSystem> {
         via_union: bool,
         answered: std::collections::BTreeSet<ProcessId>,
     },
+    /// Waiting out a retry backoff before re-entering the operation.
+    BackingOff(RetryOp),
 }
 
 /// A register client (reader and writer).
@@ -62,11 +82,30 @@ pub struct Client<B: LabelingSystem> {
     pub reads_done: u64,
     /// Aborted reads.
     pub reads_aborted: u64,
+    /// Policy-driven retries (abort re-entries and deadline re-entries).
+    pub policy_retries: u64,
+    policy: RetryPolicy,
+    /// Attempt number of the in-flight operation (1-based; 0 when idle).
+    attempt: u32,
+    /// Attempt epoch for timer-id validation; bumped whenever the current
+    /// attempt ends (success, failure, retry, or corruption).
+    epoch: u64,
 }
 
 impl<B: LabelingSystem> Client<B> {
     /// A clean client with the given writer identity.
     pub fn new(sys: Sys<B>, cfg: ClusterConfig, writer_id: WriterId, opts: ReaderOptions) -> Self {
+        Self::with_retry(sys, cfg, writer_id, opts, RetryPolicy::none())
+    }
+
+    /// A clean client with an explicit retry/timeout/backoff policy.
+    pub fn with_retry(
+        sys: Sys<B>,
+        cfg: ClusterConfig,
+        writer_id: WriterId,
+        opts: ReaderOptions,
+        policy: RetryPolicy,
+    ) -> Self {
         let pool = ReadLabelPool::new(cfg.n, cfg.read_labels);
         Self {
             sys,
@@ -80,12 +119,82 @@ impl<B: LabelingSystem> Client<B> {
             writes_retried: 0,
             reads_done: 0,
             reads_aborted: 0,
+            policy_retries: 0,
+            policy,
+            attempt: 0,
+            epoch: 0,
         }
     }
 
     /// Whether an operation is in flight.
     pub fn is_busy(&self) -> bool {
         !matches!(self.phase, Phase::Idle)
+    }
+
+    /// Begin (or re-begin) an operation attempt: bump the epoch, arm the
+    /// deadline timer if the policy has one, and enter the protocol.
+    fn begin_attempt(&mut self, op: RetryOp, ctx: &mut Ctx<'_, Msg<Ts<B>>, ClientEvent<Ts<B>>>) {
+        self.epoch += 1;
+        if self.policy.deadline > 0 {
+            ctx.set_timer(self.policy.deadline, timer_id(TIMER_KIND_DEADLINE, self.epoch));
+        }
+        match op {
+            RetryOp::Write(value) => self.start_write(value, ctx),
+            RetryOp::Read => self.start_read(ctx),
+        }
+    }
+
+    /// End the in-flight operation successfully: invalidate its timers and
+    /// reset the attempt counter.
+    fn op_done(&mut self) {
+        self.epoch += 1;
+        self.attempt = 0;
+        self.phase = Phase::Idle;
+    }
+
+    /// The current attempt failed (`timed_out` says how). Either schedule a
+    /// backed-off retry or surface the typed failure event.
+    fn fail_or_retry(
+        &mut self,
+        op: RetryOp,
+        timed_out: bool,
+        ctx: &mut Ctx<'_, Msg<Ts<B>>, ClientEvent<Ts<B>>>,
+    ) {
+        self.epoch += 1; // the failed attempt's timers are now stale
+        if self.attempt < self.policy.max_attempts {
+            self.attempt += 1;
+            self.policy_retries += 1;
+            self.phase = Phase::BackingOff(op);
+            let delay = self.policy.backoff(self.attempt, ctx.rng());
+            ctx.set_timer(delay, timer_id(TIMER_KIND_BACKOFF, self.epoch));
+            return;
+        }
+        let attempts = self.attempt;
+        self.attempt = 0;
+        self.phase = Phase::Idle;
+        match op {
+            RetryOp::Write(value) => {
+                ctx.output(ClientEvent::WriteFailed { value, timed_out, attempts });
+            }
+            RetryOp::Read => ctx.output(ClientEvent::ReadFailed { timed_out, attempts }),
+        }
+    }
+
+    /// The deadline timer of the current attempt fired: abandon whatever
+    /// phase the attempt is in and fail or retry.
+    fn deadline_expired(&mut self, ctx: &mut Ctx<'_, Msg<Ts<B>>, ClientEvent<Ts<B>>>) {
+        let op = match &self.phase {
+            Phase::Idle | Phase::BackingOff(_) => return, // nothing in flight
+            Phase::Writing(w) => RetryOp::Write(w.value),
+            Phase::Reading(r) => {
+                // Release the servers forwarding to this read's label.
+                let label = r.label;
+                ctx.broadcast(self.cfg.server_ids(), Msg::CompleteRead { label });
+                RetryOp::Read
+            }
+            Phase::WritingBack { .. } => RetryOp::Read,
+        };
+        self.fail_or_retry(op, true, ctx);
     }
 
     fn start_write(&mut self, value: Value, ctx: &mut Ctx<'_, Msg<Ts<B>>, ClientEvent<Ts<B>>>) {
@@ -150,14 +259,22 @@ impl<B: LabelingSystem> Client<B> {
                     return;
                 }
                 self.reads_done += 1;
+                self.op_done();
                 ctx.output(ClientEvent::ReadDone { value, ts, via_union });
             }
             ReadDecision::Abort => {
                 self.reads_aborted += 1;
+                if self.policy.max_attempts > 1 {
+                    // Transitory phase: retry silently instead of surfacing
+                    // the abort; the stabilization argument guarantees a
+                    // later attempt decides once a write completes.
+                    self.fail_or_retry(RetryOp::Read, false, ctx);
+                    return;
+                }
+                self.op_done();
                 ctx.output(ClientEvent::ReadAborted);
             }
         }
-        self.phase = Phase::Idle;
     }
 }
 
@@ -174,13 +291,15 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for Client<B> 
                 if self.is_busy() {
                     return; // one op at a time per client
                 }
-                self.start_write(value, ctx);
+                self.attempt = 1;
+                self.begin_attempt(RetryOp::Write(value), ctx);
             }
             Msg::InvokeRead if from == ENV => {
                 if self.is_busy() {
                     return;
                 }
-                self.start_read(ctx);
+                self.attempt = 1;
+                self.begin_attempt(RetryOp::Read, ctx);
             }
 
             // ---- write protocol replies ----
@@ -209,7 +328,7 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for Client<B> 
                                 via_union: *via_union,
                             };
                             self.reads_done += 1;
-                            self.phase = Phase::Idle;
+                            self.op_done();
                             ctx.output(ev);
                         }
                     }
@@ -220,8 +339,8 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for Client<B> 
                         crate::writer::WriteProgress::Done => {
                             let value = w.value;
                             self.writes_done += 1;
+                            self.op_done();
                             ctx.output(ClientEvent::WriteDone { value, ts });
-                            self.phase = Phase::Idle;
                         }
                         crate::writer::WriteProgress::Retry => {
                             self.writes_retried += 1;
@@ -287,6 +406,18 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for Client<B> 
         }
     }
 
+    fn on_timer(&mut self, id: u64, ctx: &mut Ctx<'_, Msg<Ts<B>>, ClientEvent<Ts<B>>>) {
+        let (kind, epoch) = (id & 1, id >> 1);
+        if epoch != self.epoch {
+            return; // armed by a finished attempt
+        }
+        if kind == TIMER_KIND_DEADLINE {
+            self.deadline_expired(ctx);
+        } else if let Phase::BackingOff(op) = self.phase {
+            self.begin_attempt(op, ctx);
+        }
+    }
+
     fn corrupt(&mut self, rng: &mut StdRng) {
         // Scramble the recent_labels matrix with arbitrary bits.
         let bits: Vec<bool> =
@@ -303,6 +434,8 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for Client<B> 
             }
         }
         self.phase = Phase::Idle;
+        self.epoch += 1; // any armed timer belongs to the pre-fault attempt
+        self.attempt = 0;
     }
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {

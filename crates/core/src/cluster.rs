@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 
 use sbft_labels::{BoundedLabeling, LabelingSystem, MwmrLabeling, UnboundedLabeling};
 use sbft_net::corruption::FaultPlan;
-use sbft_net::substrate::{AnySubstrate, Backend, Pumped, Substrate, SubstrateConfig};
+use sbft_net::substrate::{AnySubstrate, Backend, Substrate, SubstrateConfig};
 use sbft_net::{
     Automaton, CorruptionSeverity, DelayModel, NetMetrics, ProcessId, Simulation, ThreadedCluster,
 };
@@ -33,6 +33,7 @@ use crate::client::Client;
 use crate::config::ClusterConfig;
 use crate::messages::{ClientEvent, Msg, Value};
 use crate::reader::ReaderOptions;
+use crate::retry::RetryPolicy;
 use crate::server::Server;
 use crate::spec::{HistoryRecorder, OpKind, RegularityError};
 use crate::{Sys, Ts};
@@ -60,6 +61,54 @@ pub enum OpError {
     /// The event budget ran out or the simulation went quiet before the
     /// operation completed.
     Stuck,
+}
+
+/// Typed outcome of one driver-level operation under a [`RetryPolicy`] —
+/// what chaos experiments tally instead of panicking on failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpOutcome<T> {
+    /// The operation completed; `T` carries its result.
+    Ok(T),
+    /// The read aborted and the policy allowed no retry.
+    Aborted,
+    /// The operation stalled: either its single attempt died on the
+    /// deadline, or the driver's event budget ran dry with no terminal
+    /// event (`attempts == 0`).
+    TimedOut {
+        /// Attempts consumed (0 when the driver itself gave up).
+        attempts: u32,
+    },
+    /// Every attempt the retry policy allowed failed.
+    Exhausted {
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl<T> OpOutcome<T> {
+    /// Whether the operation completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, OpOutcome::Ok(_))
+    }
+
+    /// The success payload, if any.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            OpOutcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Map a terminal failure event onto the outcome taxonomy: a lone attempt
+/// dying on its deadline is a [`OpOutcome::TimedOut`]; anything that burned
+/// through retries is [`OpOutcome::Exhausted`].
+fn failure_outcome<T>(timed_out: bool, attempts: u32) -> OpOutcome<T> {
+    if timed_out && attempts <= 1 {
+        OpOutcome::TimedOut { attempts }
+    } else {
+        OpOutcome::Exhausted { attempts }
+    }
 }
 
 /// A successful read.
@@ -94,6 +143,7 @@ pub struct ClusterBuilder<B: LabelingSystem> {
     delay: DelayModel,
     trace: usize,
     reader_opts: ReaderOptions,
+    retry: RetryPolicy,
     backend: Backend,
 }
 
@@ -111,6 +161,7 @@ impl<B: LabelingSystem> ClusterBuilder<B> {
             delay: DelayModel::uniform(1, 10),
             trace: 0,
             reader_opts: ReaderOptions::default(),
+            retry: RetryPolicy::none(),
             backend: Backend::Sim,
         }
     }
@@ -175,6 +226,13 @@ impl<B: LabelingSystem> ClusterBuilder<B> {
         self
     }
 
+    /// Retry/timeout/backoff policy for every correct client (default
+    /// [`RetryPolicy::none`]: single attempts, the historical behaviour).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// Select the runtime used by [`ClusterBuilder::build_any`]
     /// (default [`Backend::Sim`]).
     pub fn backend(mut self, backend: Backend) -> Self {
@@ -201,7 +259,13 @@ impl<B: LabelingSystem> ClusterBuilder<B> {
         }
         for c in 0..self.n_clients {
             let pid = self.cfg.client_pid(c);
-            procs.push(Box::new(Client::new(sys.clone(), self.cfg, pid as u32, self.reader_opts)));
+            procs.push(Box::new(Client::with_retry(
+                sys.clone(),
+                self.cfg,
+                pid as u32,
+                self.reader_opts,
+                self.retry,
+            )));
         }
         let mut hostile_pids = Vec::new();
         for strategy in &self.hostile_clients {
@@ -362,30 +426,13 @@ where
     /// Pump the substrate until `client` emits a terminal event (recording
     /// every event from every client along the way).
     pub fn await_client(&mut self, client: ProcessId) -> Result<ClientEvent<Ts<B>>, OpError> {
-        let mut budget = self.op_budget;
-        let mut idle = 0u32;
-        while budget > 0 {
-            match self.sim.pump() {
-                Pumped::Quiescent => return Err(OpError::Stuck),
-                Pumped::Idle => {
-                    idle += 1;
-                    if idle >= MAX_IDLE_PUMPS {
-                        return Err(OpError::Stuck);
-                    }
-                }
-                Pumped::Event { time, pid, outputs } => {
-                    idle = 0;
-                    budget -= 1;
-                    for out in outputs {
-                        self.recorder.complete(pid, time, &out);
-                        if pid == client {
-                            return Ok(out);
-                        }
-                    }
-                }
-            }
-        }
-        Err(OpError::Stuck)
+        let recorder = &mut self.recorder;
+        self.sim
+            .pump_until(self.op_budget, MAX_IDLE_PUMPS, &mut |time, pid, out| {
+                recorder.complete(pid, time, &out);
+                (pid == client).then_some(out)
+            })
+            .ok_or(OpError::Stuck)
     }
 
     /// Blocking write: returns the installed timestamp.
@@ -393,6 +440,7 @@ where
         self.invoke_write(client, value);
         match self.await_client(client)? {
             ClientEvent::WriteDone { ts, .. } => Ok(ts),
+            ClientEvent::WriteFailed { .. } => Err(OpError::Stuck),
             other => unreachable!("write terminated by non-write event {other:?}"),
         }
     }
@@ -403,7 +451,39 @@ where
         match self.await_client(client)? {
             ClientEvent::ReadDone { value, ts, via_union } => Ok(ReadOk { value, ts, via_union }),
             ClientEvent::ReadAborted => Err(OpError::Aborted),
+            ClientEvent::ReadFailed { timed_out: false, .. } => Err(OpError::Aborted),
+            ClientEvent::ReadFailed { timed_out: true, .. } => Err(OpError::Stuck),
             other => unreachable!("read terminated by non-read event {other:?}"),
+        }
+    }
+
+    /// Blocking write under the retry policy, reporting the typed outcome
+    /// instead of an error — the chaos-experiment surface.
+    pub fn write_outcome(&mut self, client: ProcessId, value: Value) -> OpOutcome<Ts<B>> {
+        self.invoke_write(client, value);
+        match self.await_client(client) {
+            Ok(ClientEvent::WriteDone { ts, .. }) => OpOutcome::Ok(ts),
+            Ok(ClientEvent::WriteFailed { timed_out, attempts, .. }) => {
+                failure_outcome(timed_out, attempts)
+            }
+            Ok(other) => unreachable!("write terminated by non-write event {other:?}"),
+            Err(_) => OpOutcome::TimedOut { attempts: 0 },
+        }
+    }
+
+    /// Blocking read under the retry policy, reporting the typed outcome.
+    pub fn read_outcome(&mut self, client: ProcessId) -> OpOutcome<ReadOk<B>> {
+        self.invoke_read(client);
+        match self.await_client(client) {
+            Ok(ClientEvent::ReadDone { value, ts, via_union }) => {
+                OpOutcome::Ok(ReadOk { value, ts, via_union })
+            }
+            Ok(ClientEvent::ReadAborted) => OpOutcome::Aborted,
+            Ok(ClientEvent::ReadFailed { timed_out, attempts }) => {
+                failure_outcome(timed_out, attempts)
+            }
+            Ok(other) => unreachable!("read terminated by non-read event {other:?}"),
+            Err(_) => OpOutcome::TimedOut { attempts: 0 },
         }
     }
 
@@ -421,46 +501,24 @@ where
             }
         }
         let mut results: Vec<Option<ClientEvent<Ts<B>>>> = vec![None; ops.len()];
-        let mut budget = self.op_budget;
-        let mut idle = 0u32;
-        while !pending.is_empty() && budget > 0 {
-            match self.sim.pump() {
-                Pumped::Quiescent => break,
-                Pumped::Idle => {
-                    idle += 1;
-                    if idle >= MAX_IDLE_PUMPS {
-                        break;
-                    }
-                }
-                Pumped::Event { time, pid, outputs } => {
-                    idle = 0;
-                    budget -= 1;
-                    for out in outputs {
-                        self.recorder.complete(pid, time, &out);
-                        if let Some(slot) = pending.remove(&pid) {
-                            results[slot] = Some(out);
-                        }
-                    }
-                }
+        let recorder = &mut self.recorder;
+        self.sim.pump_until(self.op_budget, MAX_IDLE_PUMPS, &mut |time, pid, out| {
+            recorder.complete(pid, time, &out);
+            if let Some(slot) = pending.remove(&pid) {
+                results[slot] = Some(out);
             }
-        }
+            pending.is_empty().then_some(())
+        });
         results
     }
 
     /// Let in-flight background traffic (late replies, forwards) drain.
     pub fn settle(&mut self, max_events: u64) {
-        let mut budget = max_events;
-        while budget > 0 {
-            match self.sim.pump() {
-                Pumped::Quiescent | Pumped::Idle => return,
-                Pumped::Event { time, pid, outputs } => {
-                    budget -= 1;
-                    for out in outputs {
-                        self.recorder.complete(pid, time, &out);
-                    }
-                }
-            }
-        }
+        let recorder = &mut self.recorder;
+        self.sim.pump_until(max_events, 1, &mut |time, pid, out| {
+            recorder.complete(pid, time, &out);
+            None::<()>
+        });
     }
 
     /// Transient fault: corrupt the local state of **all** servers and
@@ -662,6 +720,48 @@ mod tests {
             assert!(c.check_history().is_ok(), "{backend:?}");
             c.stop();
         }
+    }
+
+    #[test]
+    fn deadline_exhausts_write_when_quorum_is_gone() {
+        let policy =
+            RetryPolicy { max_attempts: 2, deadline: 200, backoff_base: 10, backoff_max: 40 };
+        let mut c = RegisterCluster::bounded(1).seed(30).retry(policy).build();
+        let w = c.client(0);
+        c.write(w, 1).unwrap();
+        // Two crashed servers leave 4 < n − f = 5 repliers: phase 1 stalls,
+        // the deadline fires, and both attempts burn out.
+        c.sim.crash(0);
+        c.sim.crash(1);
+        let out = c.write_outcome(w, 2);
+        assert_eq!(out, OpOutcome::Exhausted { attempts: 2 }, "{out:?}");
+        // The failed write is permanently concurrent, never a violation.
+        assert!(c.check_history().is_ok());
+    }
+
+    #[test]
+    fn retries_ride_out_a_healed_link_cut() {
+        use sbft_net::LinkFault;
+        let mut c = RegisterCluster::bounded(1).seed(31).retry(RetryPolicy::chaos()).build();
+        let w = c.client(0);
+        c.write(w, 1).unwrap();
+        // Cut the writer off from two servers: no quorum, writes exhaust.
+        for s in [0usize, 1] {
+            c.sim.set_link_fault(w, s, Some(LinkFault::cut()));
+            c.sim.set_link_fault(s, w, Some(LinkFault::cut()));
+        }
+        let out = c.write_outcome(w, 2);
+        assert!(!out.is_ok(), "{out:?}");
+        for s in [0usize, 1] {
+            c.sim.set_link_fault(w, s, None);
+            c.sim.set_link_fault(s, w, None);
+        }
+        let out = c.write_outcome(w, 3);
+        assert!(out.is_ok(), "post-heal write must complete: {out:?}");
+        let r = c.read_outcome(c.client(1));
+        assert!(r.is_ok(), "{r:?}");
+        c.settle(50_000);
+        assert!(c.check_history().is_ok());
     }
 
     #[test]

@@ -52,14 +52,16 @@ pub mod cluster;
 pub mod config;
 pub mod messages;
 pub mod reader;
+pub mod retry;
 pub mod server;
 pub mod spec;
 pub mod swmr;
 pub mod writer;
 
-pub use cluster::RegisterCluster;
+pub use cluster::{OpOutcome, RegisterCluster};
 pub use config::ClusterConfig;
 pub use messages::{ClientEvent, Msg, Value};
+pub use retry::RetryPolicy;
 pub use spec::{HistoryRecorder, RegularityError};
 
 use sbft_labels::{LabelingSystem, MwmrTimestamp};

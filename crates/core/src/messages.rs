@@ -114,19 +114,48 @@ pub enum ClientEvent<T> {
         via_union: bool,
     },
     /// A `read()` aborted: no value reached the witness threshold in the
-    /// local or union graph — servers are in a transitory phase.
+    /// local or union graph — servers are in a transitory phase. Emitted
+    /// only when the client's [`crate::retry::RetryPolicy`] allows a single
+    /// attempt; with retries enabled, aborts re-enter the read silently
+    /// until the policy is exhausted.
     ReadAborted,
+    /// A `read()` gave up: every attempt the retry policy allowed aborted
+    /// or timed out. `timed_out` tells whether the *final* attempt died on
+    /// its deadline rather than an abort decision.
+    ReadFailed {
+        /// Whether the last attempt hit its deadline (vs. aborting).
+        timed_out: bool,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// A `write(value)` gave up after `attempts` deadline-bounded attempts.
+    /// The value may nevertheless land at servers later — the history
+    /// checker treats a failed write as permanently concurrent, like a
+    /// crashed writer.
+    WriteFailed {
+        /// The value whose write failed.
+        value: Value,
+        /// Whether the last attempt hit its deadline.
+        timed_out: bool,
+        /// Attempts consumed.
+        attempts: u32,
+    },
 }
 
 impl<T> ClientEvent<T> {
     /// Whether this event terminates a read operation.
     pub fn is_read_end(&self) -> bool {
-        matches!(self, ClientEvent::ReadDone { .. } | ClientEvent::ReadAborted)
+        matches!(
+            self,
+            ClientEvent::ReadDone { .. }
+                | ClientEvent::ReadAborted
+                | ClientEvent::ReadFailed { .. }
+        )
     }
 
     /// Whether this event terminates a write operation.
     pub fn is_write_end(&self) -> bool {
-        matches!(self, ClientEvent::WriteDone { .. })
+        matches!(self, ClientEvent::WriteDone { .. } | ClientEvent::WriteFailed { .. })
     }
 }
 

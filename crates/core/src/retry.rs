@@ -1,0 +1,111 @@
+//! Client-side graceful degradation: retry, timeout, backoff.
+//!
+//! The paper's operations always terminate *in fault-free suffixes*; while
+//! a nemesis is disturbing the cluster an individual attempt can stall
+//! forever (a crashed quorum member, a cut link) or abort (the transitory
+//! phase of the stabilization argument). A [`RetryPolicy`] bounds each
+//! attempt with a deadline timer and re-enters the operation — writes
+//! restart from phase 1, reads pick a fresh label — after an exponential
+//! backoff with deterministic jitter drawn from the substrate RNG, so the
+//! whole retry behaviour replays exactly under a fixed simulator seed.
+//!
+//! [`RetryPolicy::none`] (the default) reproduces the historical behaviour
+//! bit for bit: one attempt, no timers armed, aborts surfaced directly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Retry/timeout/backoff parameters of one client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per operation (≥ 1). With 1, aborts and
+    /// stalls surface immediately — the historical behaviour.
+    pub max_attempts: u32,
+    /// Per-attempt deadline in substrate time units; 0 disables the
+    /// deadline timer entirely (an attempt may then stall forever, and
+    /// only read aborts trigger retries).
+    pub deadline: u64,
+    /// Base backoff before the second attempt; doubles per attempt.
+    pub backoff_base: u64,
+    /// Backoff growth cap.
+    pub backoff_max: u64,
+}
+
+impl RetryPolicy {
+    /// One attempt, no deadline, no timers: the historical behaviour.
+    pub fn none() -> Self {
+        Self { max_attempts: 1, deadline: 0, backoff_base: 0, backoff_max: 0 }
+    }
+
+    /// The chaos-soak preset: enough attempts and budget to ride out one
+    /// nemesis disturbance window plus its recovery.
+    pub fn chaos() -> Self {
+        Self { max_attempts: 8, deadline: 900, backoff_base: 40, backoff_max: 400 }
+    }
+
+    /// Whether any retry machinery is active.
+    pub fn retries_enabled(&self) -> bool {
+        self.max_attempts > 1 || self.deadline > 0
+    }
+
+    /// Backoff before attempt number `attempt` (2-based: the first retry
+    /// passes 2): exponential in the attempt index, capped, plus up to 25%
+    /// deterministic jitter from `rng` so colliding clients decorrelate
+    /// identically under one seed. Always ≥ 1 so the timer is legal.
+    pub fn backoff(&self, attempt: u32, rng: &mut StdRng) -> u64 {
+        let exp = attempt.saturating_sub(2).min(16);
+        let base =
+            self.backoff_base.max(1).saturating_mul(1u64 << exp).min(self.backoff_max.max(1));
+        let jitter = if base >= 4 { rng.gen_range(0..=base / 4) } else { 0 };
+        (base + jitter).max(1)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_disables_everything() {
+        let p = RetryPolicy::default();
+        assert_eq!(p, RetryPolicy::none());
+        assert!(!p.retries_enabled());
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy { max_attempts: 10, deadline: 100, backoff_base: 8, backoff_max: 64 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let b2 = p.backoff(2, &mut rng);
+        assert!((8..=10).contains(&b2), "{b2}");
+        let b5 = p.backoff(5, &mut rng);
+        assert!(b5 >= 64, "{b5}"); // 8 << 3 = 64 hits the cap
+        assert!(b5 <= 64 + 16, "{b5}"); // cap + 25% jitter
+        let b9 = p.backoff(9, &mut rng);
+        assert!(b9 <= 64 + 16, "exponent must cap: {b9}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let p = RetryPolicy::chaos();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for attempt in 2..10 {
+            assert_eq!(p.backoff(attempt, &mut a), p.backoff(attempt, &mut b));
+        }
+    }
+
+    #[test]
+    fn backoff_never_zero() {
+        let p = RetryPolicy { max_attempts: 3, deadline: 1, backoff_base: 0, backoff_max: 0 };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(p.backoff(2, &mut rng) >= 1);
+    }
+}

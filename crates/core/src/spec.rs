@@ -211,12 +211,7 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
         ev: &ClientEvent<Ts<B>>,
     ) -> Option<usize> {
         let idx = self.open.remove(&client)?;
-        let op = &mut self.ops[idx];
-        // On the threaded substrate an operation can complete within the
-        // same wall-clock tick it was invoked in; clamp so records stay
-        // well-formed (returned_at >= invoked_at).
-        op.returned_at = Some(now.max(op.invoked_at));
-        op.outcome = Some(match ev {
+        let outcome = match ev {
             ClientEvent::WriteDone { value, ts } => {
                 OpOutcome::Wrote { value: *value, ts: ts.clone() }
             }
@@ -224,7 +219,21 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
                 OpOutcome::ReadValue { value: *value, ts: ts.clone(), via_union: *via_union }
             }
             ClientEvent::ReadAborted => OpOutcome::ReadAbort,
-        });
+            ClientEvent::ReadFailed { .. } | ClientEvent::WriteFailed { .. } => {
+                // A failed operation never "returns" in the spec's sense:
+                // its record stays permanently incomplete, exactly like a
+                // crashed writer's, so a failed write's value remains a
+                // legal (forever-concurrent) read result should it land
+                // at the servers later.
+                return Some(idx);
+            }
+        };
+        let op = &mut self.ops[idx];
+        // On the threaded substrate an operation can complete within the
+        // same wall-clock tick it was invoked in; clamp so records stay
+        // well-formed (returned_at >= invoked_at).
+        op.returned_at = Some(now.max(op.invoked_at));
+        op.outcome = Some(outcome);
         Some(idx)
     }
 
@@ -244,9 +253,25 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
     /// must be timestamp-ordered. (Writes from before the suffix still
     /// participate as candidate return values.)
     pub fn check_from(&self, sys: &Sys<B>, from_time: u64) -> Result<(), Vec<RegularityError>> {
+        self.check_window(sys, from_time, u64::MAX)
+    }
+
+    /// Check one stable window `[from_time, to_time]` of a longer, nemesis-
+    /// disturbed execution: only reads running entirely inside the window
+    /// must be valid, and only write pairs both completing inside it must
+    /// be timestamp-ordered. Operations straddling a window edge overlap a
+    /// disturbance and are exempt (they get the next window's scrutiny if
+    /// they retry). Writes from *anywhere* still participate as candidate
+    /// sources for the reads under check.
+    pub fn check_window(
+        &self,
+        sys: &Sys<B>,
+        from_time: u64,
+        to_time: u64,
+    ) -> Result<(), Vec<RegularityError>> {
         let mut errors = Vec::new();
-        self.check_reads(from_time, &mut errors);
-        self.check_write_order(sys, from_time, &mut errors);
+        self.check_reads(from_time, to_time, &mut errors);
+        self.check_write_order(sys, from_time, to_time, &mut errors);
         if errors.is_empty() {
             Ok(())
         } else {
@@ -254,9 +279,9 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
         }
     }
 
-    fn check_reads(&self, from_time: u64, errors: &mut Vec<RegularityError>) {
+    fn check_reads(&self, from_time: u64, to_time: u64, errors: &mut Vec<RegularityError>) {
         for (ri, read) in self.ops.iter().enumerate() {
-            if read.invoked_at < from_time {
+            if read.invoked_at < from_time || read.returned_at.unwrap_or(u64::MAX) > to_time {
                 continue;
             }
             let Some(OpOutcome::ReadValue { value, .. }) = &read.outcome else {
@@ -402,12 +427,22 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
         inversions
     }
 
-    fn check_write_order(&self, sys: &Sys<B>, from_time: u64, errors: &mut Vec<RegularityError>) {
+    fn check_write_order(
+        &self,
+        sys: &Sys<B>,
+        from_time: u64,
+        to_time: u64,
+        errors: &mut Vec<RegularityError>,
+    ) {
         let suffix: Vec<usize> = self
             .ops
             .iter()
             .enumerate()
-            .filter(|(_, o)| o.as_write().is_some() && o.returned_at.unwrap_or(0) >= from_time)
+            .filter(|(_, o)| {
+                o.as_write().is_some()
+                    && o.returned_at.unwrap_or(0) >= from_time
+                    && o.returned_at.unwrap_or(u64::MAX) <= to_time
+            })
             .map(|(i, _)| i)
             .collect();
         for &i in &suffix {
@@ -644,6 +679,59 @@ mod tests {
         let ts = s.next_for(1, std::slice::from_ref(&g));
         h.complete(11, 20, &ClientEvent::ReadDone { value: 9, ts, via_union: false });
         assert!(h.check(&s).is_ok());
+    }
+
+    #[test]
+    fn failed_write_stays_incomplete_and_its_value_stays_legal() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        let g = s.genesis();
+        // A write of 9 exhausts its retries... but the value may still land.
+        h.begin_with_intent(10, OpKind::Write, 0, Some(9));
+        h.complete(10, 50, &ClientEvent::WriteFailed { value: 9, timed_out: true, attempts: 3 });
+        assert_eq!(h.completed_writes(), 0);
+        // A much later read returning 9 is valid: the failed write is
+        // forever concurrent, never a stale source.
+        h.begin(11, OpKind::Read, 1000);
+        let ts = s.next_for(1, std::slice::from_ref(&g));
+        h.complete(11, 1010, &ClientEvent::ReadDone { value: 9, ts, via_union: false });
+        assert!(h.check(&s).is_ok());
+    }
+
+    #[test]
+    fn failed_read_is_not_a_violation() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        h.begin(11, OpKind::Read, 0);
+        h.complete(11, 80, &ClientEvent::ReadFailed { timed_out: false, attempts: 4 });
+        assert!(h.check(&s).is_ok());
+    }
+
+    #[test]
+    fn window_check_exempts_ops_straddling_the_edges() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        // Garbage read [5,15] straddles into the window [10,100]; a clean
+        // genesis read [20,30] sits fully inside.
+        h.begin(11, OpKind::Read, 5);
+        h.complete(
+            11,
+            15,
+            &ClientEvent::ReadDone { value: 999, ts: s.genesis(), via_union: false },
+        );
+        h.begin(11, OpKind::Read, 20);
+        h.complete(11, 30, &ClientEvent::ReadDone { value: 0, ts: s.genesis(), via_union: false });
+        assert!(h.check(&s).is_err(), "full check still sees the garbage");
+        assert!(h.check_window(&s, 10, 100).is_ok(), "window check exempts the straddler");
+        // A read that *returns* after the window closes is likewise exempt.
+        h.begin(11, OpKind::Read, 90);
+        h.complete(
+            11,
+            150,
+            &ClientEvent::ReadDone { value: 998, ts: s.genesis(), via_union: false },
+        );
+        assert!(h.check_window(&s, 10, 100).is_ok());
+        assert!(h.check_window(&s, 10, 200).is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use sbft_core::client::Client;
 use sbft_core::config::ClusterConfig;
 use sbft_core::reader::ReaderOptions;
-use sbft_core::{Sys, Ts};
+use sbft_core::{RetryPolicy, Sys, Ts};
 use sbft_labels::{LabelingSystem, WriterId};
 use sbft_net::{Automaton, Ctx, ProcessId, ENV};
 
@@ -25,21 +25,64 @@ pub struct KvClient<B: LabelingSystem> {
     cfg: ClusterConfig,
     opts: ReaderOptions,
     writer_id: WriterId,
+    policy: RetryPolicy,
     /// Per-key register-client state.
     pub per_key: BTreeMap<Key, Client<B>>,
     /// Key of the operation in flight, if any.
     pub active: Option<Key>,
+    /// Outer → `(key, inner)` timer-id indirection: per-key register
+    /// clients pick timer ids independently of each other, so their
+    /// timers must be disambiguated before entering the process-wide
+    /// timer namespace.
+    timer_routes: BTreeMap<u64, (Key, u64)>,
+    timer_seq: u64,
 }
 
 impl<B: LabelingSystem> KvClient<B> {
     /// A clean client.
     pub fn new(sys: Sys<B>, cfg: ClusterConfig, writer_id: WriterId, opts: ReaderOptions) -> Self {
-        Self { sys, cfg, opts, writer_id, per_key: BTreeMap::new(), active: None }
+        Self::with_retry(sys, cfg, writer_id, opts, RetryPolicy::none())
+    }
+
+    /// A clean client whose per-key register clients all follow `policy`.
+    pub fn with_retry(
+        sys: Sys<B>,
+        cfg: ClusterConfig,
+        writer_id: WriterId,
+        opts: ReaderOptions,
+        policy: RetryPolicy,
+    ) -> Self {
+        Self {
+            sys,
+            cfg,
+            opts,
+            writer_id,
+            policy,
+            per_key: BTreeMap::new(),
+            active: None,
+            timer_routes: BTreeMap::new(),
+            timer_seq: 0,
+        }
     }
 
     fn client_for(&mut self, key: Key) -> &mut Client<B> {
         let (sys, cfg, wid, opts) = (self.sys.clone(), self.cfg, self.writer_id, self.opts);
-        self.per_key.entry(key).or_insert_with(|| Client::new(sys, cfg, wid, opts))
+        let policy = self.policy;
+        self.per_key.entry(key).or_insert_with(|| Client::with_retry(sys, cfg, wid, opts, policy))
+    }
+
+    /// Re-arm an inner client's timer under a fresh outer id.
+    fn arm(
+        &mut self,
+        key: Key,
+        delay: u64,
+        inner_id: u64,
+        ctx: &mut Ctx<'_, KvMsg<Ts<B>>, KvEvent<Ts<B>>>,
+    ) {
+        let outer = self.timer_seq;
+        self.timer_seq += 1;
+        self.timer_routes.insert(outer, (key, inner_id));
+        ctx.set_timer(delay, outer);
     }
 }
 
@@ -64,10 +107,13 @@ impl<B: LabelingSystem> Automaton<KvMsg<Ts<B>>, KvEvent<Ts<B>>> for KvClient<B> 
                 let (me, now) = (ctx.me, ctx.now);
                 let mut inner = Ctx::detached(me, now, ctx.rng());
                 client.on_message(from, msg.inner, &mut inner);
-                let (sends, _outs, _) = inner.drain();
+                let (sends, _outs, timers) = inner.drain();
                 drop(inner);
                 for (to, m) in sends {
                     ctx.send(to, KvMsg::new(key, m));
+                }
+                for (delay, tid) in timers {
+                    self.arm(key, delay, tid, ctx);
                 }
             }
             return;
@@ -75,17 +121,46 @@ impl<B: LabelingSystem> Automaton<KvMsg<Ts<B>>, KvEvent<Ts<B>>> for KvClient<B> 
 
         let (me, now) = (ctx.me, ctx.now);
         let client = self.client_for(key);
-        let (sends, outputs) = {
+        let (sends, outputs, timers) = {
             let mut inner = Ctx::detached(me, now, ctx.rng());
             client.on_message(from, msg.inner, &mut inner);
-            let (s, o, _) = inner.drain();
-            (s, o)
+            inner.drain()
         };
         for (to, m) in sends {
             ctx.send(to, KvMsg::new(key, m));
         }
+        for (delay, tid) in timers {
+            self.arm(key, delay, tid, ctx);
+        }
         for o in outputs {
             if o.is_read_end() || o.is_write_end() {
+                self.active = None;
+            }
+            ctx.output(KvEvent { key, inner: o });
+        }
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut Ctx<'_, KvMsg<Ts<B>>, KvEvent<Ts<B>>>) {
+        let Some((key, inner_id)) = self.timer_routes.remove(&id) else {
+            return;
+        };
+        let Some(client) = self.per_key.get_mut(&key) else {
+            return;
+        };
+        let (me, now) = (ctx.me, ctx.now);
+        let (sends, outputs, timers) = {
+            let mut inner = Ctx::detached(me, now, ctx.rng());
+            client.on_timer(inner_id, &mut inner);
+            inner.drain()
+        };
+        for (to, m) in sends {
+            ctx.send(to, KvMsg::new(key, m));
+        }
+        for (delay, tid) in timers {
+            self.arm(key, delay, tid, ctx);
+        }
+        for o in outputs {
+            if (o.is_read_end() || o.is_write_end()) && self.active == Some(key) {
                 self.active = None;
             }
             ctx.output(KvEvent { key, inner: o });

@@ -20,14 +20,15 @@
 use std::collections::BTreeMap;
 
 use sbft_core::adversary::random_message;
+use sbft_core::cluster::OpOutcome;
 use sbft_core::config::ClusterConfig;
 use sbft_core::messages::{ClientEvent, Value};
 use sbft_core::reader::ReaderOptions;
 use sbft_core::spec::{HistoryRecorder, OpKind, RegularityError};
-use sbft_core::{Sys, Ts};
+use sbft_core::{RetryPolicy, Sys, Ts};
 use sbft_labels::{BoundedLabeling, LabelingSystem, MwmrLabeling};
 use sbft_net::corruption::FaultPlan;
-use sbft_net::substrate::{AnySubstrate, Backend, Pumped, Substrate, SubstrateConfig};
+use sbft_net::substrate::{AnySubstrate, Backend, Substrate, SubstrateConfig};
 use sbft_net::{
     Automaton, CorruptionSeverity, DelayModel, NetMetrics, ProcessId, Simulation, ThreadedCluster,
 };
@@ -58,6 +59,17 @@ pub enum KvError {
     Stuck,
 }
 
+/// Map a terminal failure event onto the [`OpOutcome`] taxonomy (mirrors
+/// the register driver's rule: a lone attempt dying on its deadline is a
+/// timeout; anything that burned retries is exhaustion).
+fn failure_outcome<T>(timed_out: bool, attempts: u32) -> OpOutcome<T> {
+    if timed_out && attempts <= 1 {
+        OpOutcome::TimedOut { attempts }
+    } else {
+        OpOutcome::Exhausted { attempts }
+    }
+}
+
 /// Builder for a [`KvCluster`].
 pub struct KvClusterBuilder<B: LabelingSystem> {
     cfg: ClusterConfig,
@@ -65,6 +77,7 @@ pub struct KvClusterBuilder<B: LabelingSystem> {
     n_clients: usize,
     seed: u64,
     delay: DelayModel,
+    retry: RetryPolicy,
     backend: Backend,
 }
 
@@ -77,6 +90,7 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
             n_clients: 2,
             seed: 0,
             delay: DelayModel::uniform(1, 10),
+            retry: RetryPolicy::none(),
             backend: Backend::Sim,
         }
     }
@@ -99,6 +113,13 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
         self
     }
 
+    /// Retry/timeout/backoff policy for every client (default
+    /// [`RetryPolicy::none`]).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// Select the runtime used by [`KvClusterBuilder::build_any`].
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
@@ -117,11 +138,12 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
         }
         for c in 0..self.n_clients {
             let pid = self.cfg.client_pid(c);
-            procs.push(Box::new(KvClient::new(
+            procs.push(Box::new(KvClient::with_retry(
                 sys.clone(),
                 self.cfg,
                 pid as u32,
                 ReaderOptions::default(),
+                self.retry,
             )));
         }
         procs
@@ -207,30 +229,13 @@ where
     }
 
     fn await_client(&mut self, client: ProcessId) -> Result<KvEvent<Ts<B>>, KvError> {
-        let mut budget = self.op_budget;
-        let mut idle = 0u32;
-        while budget > 0 {
-            match self.sim.pump() {
-                Pumped::Quiescent => return Err(KvError::Stuck),
-                Pumped::Idle => {
-                    idle += 1;
-                    if idle >= MAX_IDLE_PUMPS {
-                        return Err(KvError::Stuck);
-                    }
-                }
-                Pumped::Event { time, pid, outputs } => {
-                    idle = 0;
-                    budget -= 1;
-                    for out in outputs {
-                        self.recorder(out.key).complete(pid, time, &out.inner);
-                        if pid == client {
-                            return Ok(out);
-                        }
-                    }
-                }
-            }
-        }
-        Err(KvError::Stuck)
+        let recorders = &mut self.recorders;
+        self.sim
+            .pump_until(self.op_budget, MAX_IDLE_PUMPS, &mut |time, pid, out: KvEvent<Ts<B>>| {
+                recorders.entry(out.key).or_default().complete(pid, time, &out.inner);
+                (pid == client).then_some(out)
+            })
+            .ok_or(KvError::Stuck)
     }
 
     /// The instant to record for an operation invoked now: `now + 1` on
@@ -263,7 +268,40 @@ where
         match self.await_client(client)? {
             KvEvent { inner: ClientEvent::ReadDone { value, .. }, .. } => Ok(value),
             KvEvent { inner: ClientEvent::ReadAborted, .. } => Err(KvError::Aborted),
+            KvEvent { inner: ClientEvent::ReadFailed { timed_out: false, .. }, .. } => {
+                Err(KvError::Aborted)
+            }
             _ => Err(KvError::Stuck),
+        }
+    }
+
+    /// Blocking `put` under the retry policy, reporting the typed outcome
+    /// instead of an error.
+    pub fn put_outcome(&mut self, client: ProcessId, key: Key, value: Value) -> OpOutcome<Ts<B>> {
+        let now = self.invoke_time();
+        self.recorder(key).begin_with_intent(client, OpKind::Write, now, Some(value));
+        self.sim.inject(client, KvMsg::new(key, sbft_core::messages::Msg::InvokeWrite { value }));
+        match self.await_client(client) {
+            Ok(KvEvent { inner: ClientEvent::WriteDone { ts, .. }, .. }) => OpOutcome::Ok(ts),
+            Ok(KvEvent { inner: ClientEvent::WriteFailed { timed_out, attempts, .. }, .. }) => {
+                failure_outcome(timed_out, attempts)
+            }
+            _ => OpOutcome::TimedOut { attempts: 0 },
+        }
+    }
+
+    /// Blocking `get` under the retry policy, reporting the typed outcome.
+    pub fn get_outcome(&mut self, client: ProcessId, key: Key) -> OpOutcome<Value> {
+        let now = self.invoke_time();
+        self.recorder(key).begin(client, OpKind::Read, now);
+        self.sim.inject(client, KvMsg::new(key, sbft_core::messages::Msg::InvokeRead));
+        match self.await_client(client) {
+            Ok(KvEvent { inner: ClientEvent::ReadDone { value, .. }, .. }) => OpOutcome::Ok(value),
+            Ok(KvEvent { inner: ClientEvent::ReadAborted, .. }) => OpOutcome::Aborted,
+            Ok(KvEvent { inner: ClientEvent::ReadFailed { timed_out, attempts }, .. }) => {
+                failure_outcome(timed_out, attempts)
+            }
+            _ => OpOutcome::TimedOut { attempts: 0 },
         }
     }
 
@@ -390,6 +428,29 @@ mod tests {
         let c = store.client(0);
         assert_eq!(store.get(c, 777).unwrap(), 0);
         assert!(store.check_history(777).is_ok());
+    }
+
+    #[test]
+    fn retries_ride_out_a_healed_link_cut() {
+        use sbft_net::LinkFault;
+        let mut store = KvCluster::bounded(1).seed(8).retry(RetryPolicy::chaos()).build();
+        let c = store.client(0);
+        store.put(c, 1, 11).unwrap();
+        // Cut the client off from two servers: no quorum, puts exhaust.
+        for s in [0usize, 1] {
+            store.sim.set_link_fault(c, s, Some(LinkFault::cut()));
+            store.sim.set_link_fault(s, c, Some(LinkFault::cut()));
+        }
+        let out = store.put_outcome(c, 1, 22);
+        assert!(!out.is_ok(), "{out:?}");
+        for s in [0usize, 1] {
+            store.sim.set_link_fault(c, s, None);
+            store.sim.set_link_fault(s, c, None);
+        }
+        assert!(store.put_outcome(c, 1, 33).is_ok());
+        let got = store.get_outcome(c, 1);
+        assert_eq!(got, OpOutcome::Ok(33), "{got:?}");
+        assert!(store.check_all_histories().is_ok());
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! instead of scheduling them, and releases them in order on demand. This is
 //! the mechanism scripted adversarial schedules (the "slow server" of the
 //! Theorem 1 proof) use to steer executions precisely.
+//!
+//! Orthogonally, a channel can carry a [`LinkFault`]: per-message drop and
+//! duplication probabilities plus a constant extra delay, set and cleared at
+//! runtime by the nemesis. Faulty links still never reorder — a duplicate is
+//! scheduled immediately after its original, and survivors keep FIFO order —
+//! so the fault model degrades the *reliability* assumption of Section II
+//! while leaving the ordering assumption intact.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -17,6 +24,7 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::nemesis::LinkFault;
 use crate::process::ProcessId;
 
 /// Message delay distribution: uniform in `[min, max]` virtual time units.
@@ -66,6 +74,37 @@ struct ChannelState<M> {
     held: VecDeque<M>,
     /// Whether the channel currently buffers instead of delivering.
     paused: bool,
+    /// Active link fault, if any.
+    fault: Option<LinkFault>,
+}
+
+/// Outcome of scheduling one message on a channel.
+#[derive(Clone, Debug)]
+pub enum Scheduled<M> {
+    /// Channel paused: the message was buffered for a later resume.
+    Held,
+    /// A link fault dropped the message.
+    Dropped,
+    /// Deliver `msg` at time `at`; `dup_at`, when set, is the delivery time
+    /// of a fault-induced duplicate of the same message.
+    Deliver {
+        /// Delivery time.
+        at: u64,
+        /// The message.
+        msg: M,
+        /// Delivery time of a duplicate copy, if the fault duplicated.
+        dup_at: Option<u64>,
+    },
+}
+
+impl<M> Scheduled<M> {
+    /// The primary delivery, if one was scheduled (convenience for tests).
+    pub fn delivery(self) -> Option<(u64, M)> {
+        match self {
+            Scheduled::Deliver { at, msg, .. } => Some((at, msg)),
+            _ => None,
+        }
+    }
 }
 
 /// All channels of a simulation.
@@ -91,12 +130,17 @@ impl<M> ChannelMap<M> {
             last_delivery: 0,
             held: VecDeque::new(),
             paused: false,
+            fault: None,
         })
     }
 
     /// Compute the FIFO-respecting delivery time for a message sent `now`,
-    /// or buffer it if the channel is paused. Returns `Some(delivery_time)`
-    /// when the message should be scheduled.
+    /// buffer it if the channel is paused, or drop/duplicate/delay it per
+    /// the channel's active [`LinkFault`].
+    ///
+    /// The delay is sampled *before* the fault is consulted, so executions
+    /// on channels that never carried a fault draw the identical random
+    /// stream as before the fault machinery existed (seed compatibility).
     pub fn schedule(
         &mut self,
         from: ProcessId,
@@ -104,16 +148,42 @@ impl<M> ChannelMap<M> {
         now: u64,
         msg: M,
         rng: &mut StdRng,
-    ) -> Option<(u64, M)> {
+    ) -> Scheduled<M> {
         let delay = self.delay.sample(rng);
-        let st = self.state(from, to);
-        if st.paused {
-            st.held.push_back(msg);
-            return None;
+        let fault = self.states.get(&(from, to)).and_then(|s| s.fault);
+        if self.state(from, to).paused {
+            self.state(from, to).held.push_back(msg);
+            return Scheduled::Held;
         }
-        let t = (now + delay).max(st.last_delivery + 1);
+        if let Some(f) = fault {
+            if f.drop_rate > 0.0 && rng.gen_bool(f.drop_rate.min(1.0)) {
+                return Scheduled::Dropped;
+            }
+        }
+        let extra = fault.map_or(0, |f| f.extra_delay);
+        let duplicate = match fault {
+            Some(f) if f.dup_rate > 0.0 => rng.gen_bool(f.dup_rate.min(1.0)),
+            _ => false,
+        };
+        let st = self.state(from, to);
+        let t = (now + delay + extra).max(st.last_delivery + 1);
         st.last_delivery = t;
-        Some((t, msg))
+        let dup_at = duplicate.then(|| {
+            let t2 = st.last_delivery + 1;
+            st.last_delivery = t2;
+            t2
+        });
+        Scheduled::Deliver { at: t, msg, dup_at }
+    }
+
+    /// Install (`Some`) or clear (`None`) a link fault on `(from, to)`.
+    pub fn set_fault(&mut self, from: ProcessId, to: ProcessId, fault: Option<LinkFault>) {
+        self.state(from, to).fault = fault;
+    }
+
+    /// The active fault on `(from, to)`, if any.
+    pub fn fault(&self, from: ProcessId, to: ProcessId) -> Option<LinkFault> {
+        self.states.get(&(from, to)).and_then(|s| s.fault)
     }
 
     /// Pause the channel `(from, to)`: subsequent (and only subsequent)
@@ -171,7 +241,7 @@ mod tests {
         let mut r = rng();
         let mut last = 0;
         for i in 0..50 {
-            let (t, _) = ch.schedule(0, 1, 0, i, &mut r).unwrap();
+            let (t, _) = ch.schedule(0, 1, 0, i, &mut r).delivery().unwrap();
             assert!(t > last, "delivery times must strictly increase per channel");
             last = t;
         }
@@ -181,8 +251,8 @@ mod tests {
     fn independent_channels_do_not_interfere() {
         let mut ch: ChannelMap<u32> = ChannelMap::new(DelayModel::unit());
         let mut r = rng();
-        let (t1, _) = ch.schedule(0, 1, 0, 1, &mut r).unwrap();
-        let (t2, _) = ch.schedule(1, 0, 0, 2, &mut r).unwrap();
+        let (t1, _) = ch.schedule(0, 1, 0, 1, &mut r).delivery().unwrap();
+        let (t2, _) = ch.schedule(1, 0, 0, 2, &mut r).delivery().unwrap();
         assert_eq!(t1, 1);
         assert_eq!(t2, 1);
     }
@@ -192,8 +262,8 @@ mod tests {
         let mut ch: ChannelMap<u32> = ChannelMap::new(DelayModel::unit());
         let mut r = rng();
         ch.pause(0, 1);
-        assert!(ch.schedule(0, 1, 5, 10, &mut r).is_none());
-        assert!(ch.schedule(0, 1, 6, 11, &mut r).is_none());
+        assert!(matches!(ch.schedule(0, 1, 5, 10, &mut r), Scheduled::Held));
+        assert!(matches!(ch.schedule(0, 1, 6, 11, &mut r), Scheduled::Held));
         assert_eq!(ch.held_count(0, 1), 2);
         let released = ch.resume(0, 1, 100, &mut r);
         let msgs: Vec<u32> = released.iter().map(|&(_, m)| m).collect();
@@ -206,11 +276,63 @@ mod tests {
     fn resume_respects_prior_deliveries() {
         let mut ch: ChannelMap<u32> = ChannelMap::new(DelayModel::unit());
         let mut r = rng();
-        let (t0, _) = ch.schedule(0, 1, 50, 1, &mut r).unwrap();
+        let (t0, _) = ch.schedule(0, 1, 50, 1, &mut r).delivery().unwrap();
         ch.pause(0, 1);
         ch.schedule(0, 1, 51, 2, &mut r);
         let rel = ch.resume(0, 1, 52, &mut r);
         assert!(rel[0].0 > t0);
+    }
+
+    #[test]
+    fn cut_link_drops_everything_until_cleared() {
+        let mut ch: ChannelMap<u32> = ChannelMap::new(DelayModel::unit());
+        let mut r = rng();
+        ch.set_fault(0, 1, Some(LinkFault::cut()));
+        for i in 0..10 {
+            assert!(matches!(ch.schedule(0, 1, 0, i, &mut r), Scheduled::Dropped));
+        }
+        ch.set_fault(0, 1, None);
+        assert!(ch.schedule(0, 1, 0, 99, &mut r).delivery().is_some());
+    }
+
+    #[test]
+    fn duplication_schedules_a_later_copy_and_keeps_fifo() {
+        let mut ch: ChannelMap<u32> = ChannelMap::new(DelayModel::unit());
+        let mut r = rng();
+        ch.set_fault(0, 1, Some(LinkFault::flaky(0.0, 1.0, 0)));
+        let Scheduled::Deliver { at, dup_at, .. } = ch.schedule(0, 1, 0, 7, &mut r) else {
+            panic!("expected delivery");
+        };
+        let dup_at = dup_at.expect("dup_rate=1 must duplicate");
+        assert!(dup_at > at);
+        // The next message lands strictly after the duplicate.
+        let (t2, _) = ch.schedule(0, 1, 0, 8, &mut r).delivery().unwrap();
+        assert!(t2 > dup_at);
+    }
+
+    #[test]
+    fn extra_delay_shifts_deliveries() {
+        let mut ch: ChannelMap<u32> = ChannelMap::new(DelayModel::unit());
+        let mut r = rng();
+        ch.set_fault(0, 1, Some(LinkFault::flaky(0.0, 0.0, 50)));
+        let (t, _) = ch.schedule(0, 1, 0, 1, &mut r).delivery().unwrap();
+        assert_eq!(t, 51);
+    }
+
+    #[test]
+    fn unfaulted_channels_sample_one_delay_per_message() {
+        // Seed compatibility: the RNG stream on clean channels must be the
+        // single delay draw it always was, fault machinery or not.
+        let mut a: ChannelMap<u32> = ChannelMap::new(DelayModel::uniform(1, 100));
+        let mut b: ChannelMap<u32> = ChannelMap::new(DelayModel::uniform(1, 100));
+        let mut ra = rng();
+        let mut rb = rng();
+        b.set_fault(2, 3, Some(LinkFault::cut())); // fault on an unrelated pair
+        for i in 0..20 {
+            let ta = a.schedule(0, 1, 0, i, &mut ra).delivery().unwrap().0;
+            let tb = b.schedule(0, 1, 0, i, &mut rb).delivery().unwrap().0;
+            assert_eq!(ta, tb);
+        }
     }
 
     #[test]

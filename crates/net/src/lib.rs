@@ -24,7 +24,10 @@
 //! Fault injection lives in [`corruption`] (transient state/channel
 //! corruption — the "stabilizing" part of the model) while Byzantine
 //! behaviours are ordinary `Automaton` implementations provided by the
-//! protocol crates.
+//! protocol crates. The [`nemesis`] module composes all of it — crashes
+//! with recovery, partitions, per-link loss/duplication/delay, transient
+//! corruption, and Byzantine-seat relocation — into seeded, replayable
+//! fault schedules fired through the [`substrate::Substrate`] trait.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,15 +35,19 @@
 pub mod channel;
 pub mod corruption;
 pub mod metrics;
+pub mod nemesis;
 pub mod process;
 pub mod sim;
 pub mod substrate;
 pub mod threaded;
 pub mod trace;
 
-pub use channel::DelayModel;
+pub use channel::{DelayModel, Scheduled};
 pub use corruption::CorruptionSeverity;
 pub use metrics::NetMetrics;
+pub use nemesis::{
+    AutomatonFactory, LinkFault, NemesisEvent, NemesisOpts, NemesisRunner, NemesisSchedule,
+};
 pub use process::{Automaton, Ctx, ProcessId, ENV};
 pub use sim::{SimConfig, SimEvent, Simulation};
 pub use substrate::{AnySubstrate, Backend, Pumped, Substrate, SubstrateConfig};

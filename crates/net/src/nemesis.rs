@@ -1,0 +1,549 @@
+//! Jepsen-style nemesis: seeded schedules of composable infrastructure
+//! faults, fired against any [`Substrate`].
+//!
+//! The paper's fault model is *transient* corruption plus up to `f`
+//! Byzantine servers; real deployments additionally lose processes and
+//! links and get them back. The nemesis layer composes both worlds into
+//! one declarative, replayable schedule: crashes with later *recovery*
+//! (rejoin with arbitrary fresh state — legitimate under the transient
+//! model, since a restarted process is just one whose memory was
+//! corrupted to an initial state), partitions, per-link loss /
+//! duplication / delay spikes, transient [`FaultPlan`] corruption, and
+//! runtime relocation of the Byzantine strategy between servers (the
+//! mobile-Byzantine regime of Bonomi–Del Pozzo–Potop-Butucaru,
+//! arXiv:1505.06865).
+//!
+//! A [`NemesisSchedule`] is a sorted list of `(time, event)` pairs —
+//! scripted, or generated from a seed by [`NemesisSchedule::random`]
+//! with min-gap/duration knobs that keep disturbance windows serialized
+//! (at most one open at a time, so `f` stays respected between
+//! recoveries). A [`NemesisRunner`] owns the schedule plus the automaton
+//! factories needed for restarts and fires every due event through the
+//! [`Substrate`] trait, so the same chaos runs on the simulator and on
+//! real threads.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corruption::{CorruptionSeverity, FaultPlan};
+use crate::process::{Automaton, ProcessId};
+use crate::substrate::Substrate;
+
+/// Per-link fault parameters applied to one directed channel.
+///
+/// `drop_rate` and `dup_rate` are independent per-message probabilities;
+/// `extra_delay` adds a constant delay (virtual time units on the
+/// simulator; a sender-side stall of that many ticks on threads). FIFO
+/// order is preserved in all cases — a faulty link loses or repeats
+/// messages but never reorders the survivors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFault {
+    /// Probability a message is silently lost.
+    pub drop_rate: f64,
+    /// Probability a delivered message is delivered twice.
+    pub dup_rate: f64,
+    /// Additional delay added to every delivery.
+    pub extra_delay: u64,
+}
+
+impl LinkFault {
+    /// A fully cut link (drops everything) — the partition building block.
+    pub fn cut() -> Self {
+        Self { drop_rate: 1.0, dup_rate: 0.0, extra_delay: 0 }
+    }
+
+    /// A lossy link dropping each message with probability `drop_rate`.
+    pub fn lossy(drop_rate: f64) -> Self {
+        Self { drop_rate, dup_rate: 0.0, extra_delay: 0 }
+    }
+
+    /// A link that loses, duplicates, and delays.
+    pub fn flaky(drop_rate: f64, dup_rate: f64, extra_delay: u64) -> Self {
+        Self { drop_rate, dup_rate, extra_delay }
+    }
+
+    /// Whether this fault drops every message.
+    pub fn is_cut(&self) -> bool {
+        self.drop_rate >= 1.0
+    }
+}
+
+/// One declarative nemesis action.
+///
+/// Disturbances ([`NemesisEvent::Crash`], [`NemesisEvent::Partition`],
+/// [`NemesisEvent::LinkFault`], [`NemesisEvent::Corrupt`],
+/// [`NemesisEvent::RelocateByz`]) open a *disturbance window* in the
+/// runner's bookkeeping; recoveries ([`NemesisEvent::Restart`],
+/// [`NemesisEvent::Heal`], [`NemesisEvent::LinkHeal`]) close one.
+/// Scripted schedules should pair every disturbance with a recovery so
+/// the runner's all-clear tracking stays meaningful (instantaneous
+/// disturbances like `Corrupt` pair with a plain `Heal`, which marks the
+/// window closed without undoing anything).
+#[derive(Clone, Debug)]
+pub enum NemesisEvent {
+    /// Crash a process: it silently drops all deliveries until restarted.
+    Crash(ProcessId),
+    /// Restart a crashed (or running) process with a fresh automaton from
+    /// the runner's factory — crash *recovery* with state loss.
+    Restart(ProcessId),
+    /// Cut every link between `side` and the rest of the cluster, in both
+    /// directions. Realized as full-drop link faults on both backends, so
+    /// partitioned traffic is *lost*, not buffered; the clients' retry
+    /// machinery restores liveness after [`NemesisEvent::Heal`].
+    Partition {
+        /// Processes isolated from everyone else.
+        side: Vec<ProcessId>,
+    },
+    /// Clear every link cut by the previous `Partition` (and mark the
+    /// current disturbance window closed).
+    Heal,
+    /// Apply `fault` to the link `a ↔ b` (both directions).
+    LinkFault {
+        /// One endpoint.
+        a: ProcessId,
+        /// The other endpoint.
+        b: ProcessId,
+        /// The fault parameters.
+        fault: LinkFault,
+    },
+    /// Clear the link fault on `a ↔ b`.
+    LinkHeal {
+        /// One endpoint.
+        a: ProcessId,
+        /// The other endpoint.
+        b: ProcessId,
+    },
+    /// Execute a transient-fault plan (state scrambling + channel garbage).
+    Corrupt(FaultPlan),
+    /// Move the Byzantine strategy to server `to`: the old seat restarts
+    /// as a fresh honest automaton, `to` restarts as a fresh adversary.
+    RelocateByz {
+        /// The new Byzantine seat.
+        to: ProcessId,
+    },
+}
+
+impl NemesisEvent {
+    /// Short kind name for logs and per-kind counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NemesisEvent::Crash(_) => "crash",
+            NemesisEvent::Restart(_) => "restart",
+            NemesisEvent::Partition { .. } => "partition",
+            NemesisEvent::Heal => "heal",
+            NemesisEvent::LinkFault { .. } => "link-fault",
+            NemesisEvent::LinkHeal { .. } => "link-heal",
+            NemesisEvent::Corrupt(_) => "corrupt",
+            NemesisEvent::RelocateByz { .. } => "relocate-byz",
+        }
+    }
+
+    /// Whether this event opens a disturbance window.
+    pub fn is_disturbance(&self) -> bool {
+        matches!(
+            self,
+            NemesisEvent::Crash(_)
+                | NemesisEvent::Partition { .. }
+                | NemesisEvent::LinkFault { .. }
+                | NemesisEvent::Corrupt(_)
+                | NemesisEvent::RelocateByz { .. }
+        )
+    }
+}
+
+/// Knobs for [`NemesisSchedule::random`].
+#[derive(Clone, Debug)]
+pub struct NemesisOpts {
+    /// Server pids are `0..servers`; all targets are drawn from here.
+    pub servers: usize,
+    /// Total process count (servers + clients) for corruption plans.
+    pub total_procs: usize,
+    /// Current Byzantine seat, if any. Never targeted by crash/corrupt
+    /// windows (so at most one *honest* server is disturbed at a time);
+    /// relocation windows move it.
+    pub byz_seat: Option<ProcessId>,
+    /// No event fires before this time.
+    pub start_after: u64,
+    /// No disturbance opens after `horizon - fault_len`.
+    pub horizon: u64,
+    /// How long each disturbance window stays open before its recovery.
+    pub fault_len: u64,
+    /// Quiet time between a recovery and the next disturbance. Must be
+    /// long enough for a write to complete (Assumption 1 between
+    /// windows), or state lost to consecutive restarts can accumulate
+    /// past `f`.
+    pub min_gap: u64,
+    /// Severity of `Corrupt` windows.
+    pub severity: CorruptionSeverity,
+    /// Fault parameters of `LinkFault` windows.
+    pub link_fault: LinkFault,
+}
+
+impl Default for NemesisOpts {
+    fn default() -> Self {
+        Self {
+            servers: 6,
+            total_procs: 8,
+            byz_seat: None,
+            start_after: 500,
+            horizon: 18_000,
+            fault_len: 1_200,
+            min_gap: 2_200,
+            severity: CorruptionSeverity::Light,
+            link_fault: LinkFault::flaky(0.3, 0.2, 15),
+        }
+    }
+}
+
+/// A time-sorted list of nemesis events.
+#[derive(Clone, Debug, Default)]
+pub struct NemesisSchedule {
+    events: Vec<(u64, NemesisEvent)>,
+}
+
+impl NemesisSchedule {
+    /// A scripted schedule; events are stably sorted by time.
+    pub fn scripted(mut events: Vec<(u64, NemesisEvent)>) -> Self {
+        events.sort_by_key(|&(t, _)| t);
+        Self { events }
+    }
+
+    /// A seeded random schedule: serialized disturbance windows of
+    /// `opts.fault_len`, separated by `opts.min_gap`, cycling through the
+    /// five window templates (crash+restart, partition+heal,
+    /// link-fault+link-heal, corrupt+heal, relocate-byz+heal) so that any
+    /// schedule long enough for five windows fires five distinct
+    /// disturbance kinds. Targets are drawn uniformly from the honest
+    /// servers; the generator tracks the Byzantine seat across
+    /// relocations.
+    pub fn random(seed: u64, opts: &NemesisOpts) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4E45_4D45_5349_5321);
+        let mut byz = opts.byz_seat;
+        let mut events = Vec::new();
+        let mut t = opts.start_after;
+        let mut template = 0usize;
+        while t + opts.fault_len <= opts.horizon {
+            let target = Self::pick_honest(&mut rng, opts.servers, byz);
+            let recover_at = t + opts.fault_len;
+            match template % 5 {
+                0 => {
+                    events.push((t, NemesisEvent::Crash(target)));
+                    events.push((recover_at, NemesisEvent::Restart(target)));
+                }
+                1 => {
+                    events.push((t, NemesisEvent::Partition { side: vec![target] }));
+                    events.push((recover_at, NemesisEvent::Heal));
+                }
+                2 => {
+                    let peer = Self::pick_peer(&mut rng, opts.servers, target);
+                    events.push((
+                        t,
+                        NemesisEvent::LinkFault { a: target, b: peer, fault: opts.link_fault },
+                    ));
+                    events.push((recover_at, NemesisEvent::LinkHeal { a: target, b: peer }));
+                }
+                3 => {
+                    let plan = FaultPlan::targeting(&[target], opts.total_procs, opts.severity);
+                    events.push((t, NemesisEvent::Corrupt(plan)));
+                    events.push((recover_at, NemesisEvent::Heal));
+                }
+                _ => {
+                    if byz.is_some() {
+                        events.push((t, NemesisEvent::RelocateByz { to: target }));
+                        byz = Some(target);
+                    } else {
+                        // No Byzantine seat to move: substitute a lossy link.
+                        let peer = Self::pick_peer(&mut rng, opts.servers, target);
+                        events.push((
+                            t,
+                            NemesisEvent::LinkFault { a: target, b: peer, fault: opts.link_fault },
+                        ));
+                    }
+                    events.push((recover_at, NemesisEvent::Heal));
+                }
+            }
+            template += 1;
+            t = recover_at + opts.min_gap;
+        }
+        Self::scripted(events)
+    }
+
+    fn pick_honest(rng: &mut StdRng, servers: usize, byz: Option<ProcessId>) -> ProcessId {
+        assert!(servers > byz.map(|_| 1).unwrap_or(0), "need at least one honest server");
+        loop {
+            let s = rng.gen_range(0..servers);
+            if Some(s) != byz {
+                return s;
+            }
+        }
+    }
+
+    fn pick_peer(rng: &mut StdRng, servers: usize, not: ProcessId) -> ProcessId {
+        loop {
+            let s = rng.gen_range(0..servers);
+            if s != not {
+                return s;
+            }
+        }
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[(u64, NemesisEvent)] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of distinct *disturbance* kinds the schedule will fire.
+    pub fn distinct_disturbances(&self) -> usize {
+        let kinds: std::collections::BTreeSet<&'static str> =
+            self.events.iter().filter(|(_, e)| e.is_disturbance()).map(|(_, e)| e.kind()).collect();
+        kinds.len()
+    }
+
+    /// Time of the last scheduled event.
+    pub fn horizon(&self) -> u64 {
+        self.events.last().map(|&(t, _)| t).unwrap_or(0)
+    }
+}
+
+/// Factory producing a fresh automaton for a restarted process.
+pub type AutomatonFactory<M, O> = Box<dyn FnMut(ProcessId) -> Box<dyn Automaton<M, O>> + Send>;
+
+/// Fires a [`NemesisSchedule`] against a substrate at the right times.
+///
+/// The driver calls [`NemesisRunner::fire_due`] between workload
+/// operations; every event whose time has been reached executes through
+/// the [`Substrate`] surface, so the same schedule drives the simulator
+/// and the threaded runtime identically.
+pub struct NemesisRunner<M, O> {
+    pending: VecDeque<(u64, NemesisEvent)>,
+    make_honest: AutomatonFactory<M, O>,
+    make_byz: Option<AutomatonFactory<M, O>>,
+    garbage: Box<dyn FnMut(&mut StdRng) -> M + Send>,
+    byz_at: Option<ProcessId>,
+    partition_pairs: Vec<(ProcessId, ProcessId)>,
+    active: u32,
+    fired: BTreeMap<&'static str, u64>,
+    /// Every fired event as `(fire time, kind)`.
+    pub log: Vec<(u64, &'static str)>,
+    /// Times at which the last open disturbance window closed.
+    pub clear_times: Vec<u64>,
+}
+
+impl<M, O> NemesisRunner<M, O> {
+    /// Build a runner. `make_byz`/`byz_at` describe the current Byzantine
+    /// seat (both `None` for an all-honest cluster); `garbage` generates
+    /// in-transit junk for `Corrupt` events.
+    pub fn new(
+        schedule: NemesisSchedule,
+        make_honest: AutomatonFactory<M, O>,
+        make_byz: Option<AutomatonFactory<M, O>>,
+        byz_at: Option<ProcessId>,
+        garbage: Box<dyn FnMut(&mut StdRng) -> M + Send>,
+    ) -> Self {
+        Self {
+            pending: schedule.events.into(),
+            make_honest,
+            make_byz,
+            garbage,
+            byz_at,
+            partition_pairs: Vec::new(),
+            active: 0,
+            fired: BTreeMap::new(),
+            log: Vec::new(),
+            clear_times: Vec::new(),
+        }
+    }
+
+    /// Whether every scheduled event has fired.
+    pub fn done(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Time of the next pending event.
+    pub fn next_at(&self) -> Option<u64> {
+        self.pending.front().map(|&(t, _)| t)
+    }
+
+    /// Whether no disturbance window is currently open.
+    pub fn all_clear(&self) -> bool {
+        self.active == 0
+    }
+
+    /// Current Byzantine seat.
+    pub fn byz_at(&self) -> Option<ProcessId> {
+        self.byz_at
+    }
+
+    /// Number of distinct disturbance kinds fired so far.
+    pub fn distinct_disturbances_fired(&self) -> usize {
+        self.fired
+            .keys()
+            .filter(|k| **k != "restart" && **k != "heal" && **k != "link-heal")
+            .count()
+    }
+
+    /// Total events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired.values().sum()
+    }
+
+    /// Fire every event whose time is at or before `sub.now()`. Returns
+    /// the number fired.
+    pub fn fire_due<S: Substrate<M, O>>(&mut self, sub: &mut S) -> usize {
+        let mut n = 0;
+        while self.next_at().map(|t| t <= sub.now()).unwrap_or(false) {
+            self.fire_next(sub);
+            n += 1;
+        }
+        n
+    }
+
+    /// Fire the next pending event regardless of its scheduled time —
+    /// the fast-forward used when the substrate has gone quiet before
+    /// the schedule's clock caught up. Returns `false` when done.
+    pub fn fire_next<S: Substrate<M, O>>(&mut self, sub: &mut S) -> bool {
+        let Some((_, ev)) = self.pending.pop_front() else {
+            return false;
+        };
+        let now = sub.now();
+        *self.fired.entry(ev.kind()).or_insert(0) += 1;
+        self.log.push((now, ev.kind()));
+        if ev.is_disturbance() {
+            self.active += 1;
+        }
+        match ev {
+            NemesisEvent::Crash(pid) => sub.crash(pid),
+            NemesisEvent::Restart(pid) => {
+                let auto = self.spawn_for(pid);
+                sub.restart(pid, auto);
+                self.close_window(now);
+            }
+            NemesisEvent::Partition { side } => {
+                let n = sub.process_count();
+                for &a in &side {
+                    for b in 0..n {
+                        if side.contains(&b) {
+                            continue;
+                        }
+                        sub.set_link_fault(a, b, Some(LinkFault::cut()));
+                        sub.set_link_fault(b, a, Some(LinkFault::cut()));
+                        self.partition_pairs.push((a, b));
+                    }
+                }
+            }
+            NemesisEvent::Heal => {
+                for (a, b) in std::mem::take(&mut self.partition_pairs) {
+                    sub.set_link_fault(a, b, None);
+                    sub.set_link_fault(b, a, None);
+                }
+                self.close_window(now);
+            }
+            NemesisEvent::LinkFault { a, b, fault } => {
+                sub.set_link_fault(a, b, Some(fault));
+                sub.set_link_fault(b, a, Some(fault));
+            }
+            NemesisEvent::LinkHeal { a, b } => {
+                sub.set_link_fault(a, b, None);
+                sub.set_link_fault(b, a, None);
+                self.close_window(now);
+            }
+            NemesisEvent::Corrupt(plan) => {
+                sub.apply_fault(&plan, &mut *self.garbage);
+            }
+            NemesisEvent::RelocateByz { to } => {
+                if self.byz_at != Some(to) {
+                    if let Some(old) = self.byz_at.take() {
+                        let honest = (self.make_honest)(old);
+                        sub.restart(old, honest);
+                    }
+                    if let Some(make_byz) = &mut self.make_byz {
+                        let byz = make_byz(to);
+                        sub.restart(to, byz);
+                        self.byz_at = Some(to);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn spawn_for(&mut self, pid: ProcessId) -> Box<dyn Automaton<M, O>> {
+        if self.byz_at == Some(pid) {
+            if let Some(make_byz) = &mut self.make_byz {
+                return make_byz(pid);
+            }
+        }
+        (self.make_honest)(pid)
+    }
+
+    fn close_window(&mut self, now: u64) {
+        self.active = self.active.saturating_sub(1);
+        if self.active == 0 {
+            self.clear_times.push(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_schedule_is_deterministic_per_seed() {
+        let opts = NemesisOpts::default();
+        let a = NemesisSchedule::random(7, &opts);
+        let b = NemesisSchedule::random(7, &opts);
+        assert_eq!(a.len(), b.len());
+        for ((ta, ea), (tb, eb)) in a.events().iter().zip(b.events()) {
+            assert_eq!(ta, tb);
+            assert_eq!(ea.kind(), eb.kind());
+        }
+        let c = NemesisSchedule::random(8, &opts);
+        assert_eq!(a.len(), c.len(), "same knobs, same window count");
+    }
+
+    #[test]
+    fn random_schedule_fires_five_distinct_disturbances() {
+        let opts = NemesisOpts { byz_seat: Some(5), ..NemesisOpts::default() };
+        let s = NemesisSchedule::random(3, &opts);
+        assert!(s.distinct_disturbances() >= 5, "{s:?}");
+        // Every disturbance is paired with a recovery.
+        let (dist, recov): (Vec<_>, Vec<_>) =
+            s.events().iter().partition(|(_, e)| e.is_disturbance());
+        assert_eq!(dist.len(), recov.len(), "{s:?}");
+    }
+
+    #[test]
+    fn random_schedule_never_targets_the_byz_seat_with_crashes() {
+        let opts = NemesisOpts { byz_seat: Some(0), servers: 2, ..NemesisOpts::default() };
+        let s = NemesisSchedule::random(11, &opts);
+        let mut byz = Some(0);
+        for (_, ev) in s.events() {
+            match ev {
+                NemesisEvent::Crash(p) => assert_ne!(Some(*p), byz),
+                NemesisEvent::RelocateByz { to } => byz = Some(*to),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_schedule_sorts_by_time() {
+        let s =
+            NemesisSchedule::scripted(vec![(50, NemesisEvent::Heal), (10, NemesisEvent::Crash(1))]);
+        assert_eq!(s.events()[0].0, 10);
+        assert_eq!(s.horizon(), 50);
+    }
+}

@@ -16,8 +16,9 @@ use std::fmt::Debug;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::channel::{ChannelMap, DelayModel};
+use crate::channel::{ChannelMap, DelayModel, Scheduled};
 use crate::metrics::NetMetrics;
+use crate::nemesis::LinkFault;
 use crate::process::{Automaton, Ctx, ProcessId, ENV};
 use crate::trace::Trace;
 
@@ -53,7 +54,7 @@ impl SimConfig {
 
 enum EventKind<M> {
     Deliver { from: ProcessId, to: ProcessId, msg: M },
-    Timer { pid: ProcessId, id: u64 },
+    Timer { pid: ProcessId, id: u64, incarnation: u64 },
 }
 
 struct Queued<M> {
@@ -99,11 +100,16 @@ pub struct Simulation<M, O> {
     queue: BinaryHeap<Queued<M>>,
     procs: Vec<Box<dyn Automaton<M, O>>>,
     crashed: Vec<bool>,
+    /// Bumped on every restart of a pid; timer events carry the incarnation
+    /// they were armed under, so timers armed before a restart never fire
+    /// into the fresh automaton.
+    incarnation: Vec<u64>,
     channels: ChannelMap<M>,
     rng: StdRng,
     metrics: NetMetrics,
     trace: Trace,
     started: bool,
+    halted: bool,
 }
 
 impl<M, O> Simulation<M, O>
@@ -119,11 +125,13 @@ where
             queue: BinaryHeap::new(),
             procs: Vec::new(),
             crashed: Vec::new(),
+            incarnation: Vec::new(),
             channels: ChannelMap::new(config.delay),
             rng: StdRng::seed_from_u64(config.seed),
             metrics: NetMetrics::default(),
             trace: Trace::new(config.trace_capacity),
             started: false,
+            halted: false,
         }
     }
 
@@ -131,6 +139,7 @@ where
     pub fn add_process(&mut self, a: Box<dyn Automaton<M, O>>) -> ProcessId {
         self.procs.push(a);
         self.crashed.push(false);
+        self.incarnation.push(0);
         self.procs.len() - 1
     }
 
@@ -198,6 +207,21 @@ where
         self.queue.push(Queued { time, seq, kind });
     }
 
+    /// Route one send through the channel map, honoring pauses and link
+    /// faults, and enqueue the resulting delivery (and duplicate) events.
+    fn schedule_send(&mut self, from: ProcessId, to: ProcessId, msg: M) {
+        match self.channels.schedule(from, to, self.now, msg, &mut self.rng) {
+            Scheduled::Held => {}
+            Scheduled::Dropped => self.metrics.record_drop(),
+            Scheduled::Deliver { at, msg, dup_at } => {
+                if let Some(t2) = dup_at {
+                    self.push(t2, EventKind::Deliver { from, to, msg: msg.clone() });
+                }
+                self.push(at, EventKind::Deliver { from, to, msg });
+            }
+        }
+    }
+
     /// Collect effects from a finished callback into the event queue.
     fn absorb(&mut self, pid: ProcessId, outbox: Vec<(ProcessId, M)>, timers: Vec<(u64, u64)>) {
         for (to, msg) in outbox {
@@ -206,12 +230,11 @@ where
                 continue;
             }
             self.metrics.record_send(pid, to);
-            if let Some((t, m)) = self.channels.schedule(pid, to, self.now, msg, &mut self.rng) {
-                self.push(t, EventKind::Deliver { from: pid, to, msg: m });
-            }
+            self.schedule_send(pid, to, msg);
         }
         for (delay, id) in timers {
-            self.push(self.now + delay.max(1), EventKind::Timer { pid, id });
+            let incarnation = self.incarnation[pid];
+            self.push(self.now + delay.max(1), EventKind::Timer { pid, id, incarnation });
         }
     }
 
@@ -219,9 +242,7 @@ where
     /// usual channel delay (FIFO with respect to earlier commands to `pid`).
     pub fn inject(&mut self, pid: ProcessId, msg: M) {
         self.metrics.record_send(ENV, pid);
-        if let Some((t, m)) = self.channels.schedule(ENV, pid, self.now, msg, &mut self.rng) {
-            self.push(t, EventKind::Deliver { from: ENV, to: pid, msg: m });
-        }
+        self.schedule_send(ENV, pid, msg);
     }
 
     /// Place `msgs` in the channel `(from, to)` as if they were already in
@@ -229,9 +250,7 @@ where
     /// corruption of channel contents.
     pub fn preload_channel(&mut self, from: ProcessId, to: ProcessId, msgs: Vec<M>) {
         for msg in msgs {
-            if let Some((t, m)) = self.channels.schedule(from, to, self.now, msg, &mut self.rng) {
-                self.push(t, EventKind::Deliver { from, to, msg: m });
-            }
+            self.schedule_send(from, to, msg);
         }
     }
 
@@ -305,6 +324,36 @@ where
         self.crashed[pid]
     }
 
+    /// Restart `pid` with a fresh automaton: crash *recovery* with state
+    /// loss. The replacement starts from its initial state (its `on_start`
+    /// runs if the simulation has started), pending timers armed by the old
+    /// incarnation are invalidated, and in-flight messages to `pid` deliver
+    /// normally — a restarted process is indistinguishable from one whose
+    /// memory was transiently corrupted to an initial state, which is
+    /// exactly the fault class the paper's algorithm stabilizes from.
+    pub fn restart(&mut self, pid: ProcessId, auto: Box<dyn Automaton<M, O>>) {
+        self.procs[pid] = auto;
+        self.crashed[pid] = false;
+        self.incarnation[pid] += 1;
+        if self.started {
+            self.dispatch(pid, |auto, ctx| auto.on_start(ctx));
+        }
+    }
+
+    /// Install (`Some`) or clear (`None`) a [`LinkFault`] on the directed
+    /// channel `(from, to)`.
+    pub fn set_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: Option<LinkFault>) {
+        self.channels.set_fault(from, to, fault);
+    }
+
+    /// Halt the simulation: discard every pending event. Nothing pending at
+    /// halt time is ever delivered, and subsequent [`Simulation::step`]
+    /// calls return `None`.
+    pub fn halt(&mut self) {
+        self.halted = true;
+        self.queue.clear();
+    }
+
     /// Apply a transient fault to `pid`'s local state (delegates to the
     /// automaton's [`Automaton::corrupt`]).
     pub fn corrupt_process(&mut self, pid: ProcessId) {
@@ -341,8 +390,12 @@ where
         self.queue.len()
     }
 
-    /// Process one event. Returns `None` when the queue is empty.
+    /// Process one event. Returns `None` when the queue is empty or the
+    /// simulation was halted.
     pub fn step(&mut self) -> Option<SimEvent<O>> {
+        if self.halted {
+            return None;
+        }
         self.start();
         let ev = self.queue.pop()?;
         debug_assert!(ev.time >= self.now, "time must be monotone");
@@ -359,8 +412,8 @@ where
                 let outputs = self.dispatch(to, move |auto, ctx| auto.on_message(from, msg, ctx));
                 Some(SimEvent { time: self.now, pid: to, outputs })
             }
-            EventKind::Timer { pid, id } => {
-                if self.crashed[pid] {
+            EventKind::Timer { pid, id, incarnation } => {
+                if self.crashed[pid] || incarnation != self.incarnation[pid] {
                     return Some(SimEvent { time: self.now, pid, outputs: Vec::new() });
                 }
                 let outputs = self.dispatch(pid, move |auto, ctx| auto.on_timer(id, ctx));
@@ -522,6 +575,80 @@ mod tests {
         let out = sim.run_until_quiet(100);
         // Both stale messages trigger outputs at process 0.
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn restart_recovers_a_crashed_process() {
+        let mut sim = two_pingpong(5);
+        sim.crash(1);
+        sim.inject(0, 5);
+        assert!(sim.run_until_quiet(1_000).is_empty());
+        sim.restart(1, Box::new(PingPong));
+        sim.inject(0, 4);
+        let out = sim.run_until_quiet(1_000);
+        assert_eq!(out.len(), 1, "recovered process participates again");
+    }
+
+    #[test]
+    fn restart_invalidates_stale_timers() {
+        /// Arms a timer on start; outputs if it ever fires.
+        struct Armed;
+        impl Automaton<u32, u32> for Armed {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32, u32>) {
+                ctx.set_timer(10, 1);
+            }
+            fn on_timer(&mut self, _id: u64, ctx: &mut Ctx<'_, u32, u32>) {
+                ctx.output(99);
+            }
+            fn on_message(&mut self, _: ProcessId, _: u32, _: &mut Ctx<'_, u32, u32>) {}
+        }
+        /// Never arms anything.
+        struct Inert;
+        impl Automaton<u32, u32> for Inert {
+            fn on_message(&mut self, _: ProcessId, _: u32, _: &mut Ctx<'_, u32, u32>) {}
+        }
+        let mut sim: Simulation<u32, u32> = Simulation::new(SimConfig::seeded(0));
+        sim.add_process(Box::new(Armed));
+        sim.start();
+        sim.restart(0, Box::new(Inert));
+        let out = sim.run_until_quiet(100);
+        assert!(out.is_empty(), "old incarnation's timer must not fire: {out:?}");
+    }
+
+    #[test]
+    fn halt_discards_pending_events() {
+        let mut sim = two_pingpong(6);
+        sim.inject(0, 10);
+        sim.step();
+        assert!(!sim.is_quiet());
+        let delivered = sim.metrics().messages_delivered;
+        sim.halt();
+        assert!(sim.is_quiet());
+        assert!(sim.step().is_none());
+        assert_eq!(sim.metrics().messages_delivered, delivered, "halt ran no protocol work");
+    }
+
+    #[test]
+    fn cut_link_fault_partitions_and_heals() {
+        let mut sim = two_pingpong(8);
+        sim.set_link_fault(0, 1, Some(LinkFault::cut()));
+        sim.inject(0, 3); // 0's first hop toward 1 is dropped on the floor
+        let out = sim.run_until_quiet(1_000);
+        assert!(out.is_empty());
+        assert!(sim.is_quiet(), "dropped messages leave nothing pending");
+        sim.set_link_fault(0, 1, None);
+        sim.inject(0, 3);
+        let out = sim.run_until_quiet(1_000);
+        assert_eq!(out.len(), 1, "healed link flows again");
+    }
+
+    #[test]
+    fn duplicating_link_delivers_twice() {
+        let mut sim = two_pingpong(9);
+        sim.set_link_fault(1, 0, Some(LinkFault::flaky(0.0, 1.0, 0)));
+        sim.inject(0, 2); // 0 -> 1 (clean), 1 -> 0 (duplicated), msg 0 at 0 twice
+        let out = sim.run_until_quiet(1_000);
+        assert_eq!(out.len(), 2, "duplicate of the final hop triggers a second output");
     }
 
     #[test]

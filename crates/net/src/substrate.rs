@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use crate::channel::DelayModel;
 use crate::corruption::FaultPlan;
 use crate::metrics::NetMetrics;
+use crate::nemesis::LinkFault;
 use crate::process::{Automaton, ProcessId};
 use crate::sim::{SimConfig, Simulation};
 use crate::threaded::ThreadedCluster;
@@ -154,9 +155,62 @@ pub trait Substrate<M, O> {
     /// Crash `pid`: it silently drops all future deliveries.
     fn crash(&mut self, pid: ProcessId);
 
-    /// Tear the substrate down (stop worker threads; no-op on the
-    /// simulator). After `stop`, `pump` returns [`Pumped::Quiescent`].
+    /// Restart `pid` with a fresh automaton — crash *recovery* with state
+    /// loss. The replacement runs its `on_start`, timers armed by the old
+    /// incarnation never fire, and the pid resumes receiving deliveries.
+    /// Sound under the paper's transient-fault model: a restarted process
+    /// is one whose memory was corrupted to an initial state.
+    fn restart(&mut self, pid: ProcessId, auto: Box<dyn Automaton<M, O>>);
+
+    /// Install (`Some`) or clear (`None`) a [`LinkFault`] on the directed
+    /// channel `(from, to)`: per-message drop/duplication probabilities and
+    /// an extra delay. FIFO order among surviving messages is preserved on
+    /// both backends.
+    fn set_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: Option<LinkFault>);
+
+    /// Tear the substrate down, *discarding* all pending work: undelivered
+    /// messages and unfired timers are dropped, never executed. After
+    /// `stop`, `pump` returns [`Pumped::Quiescent`].
     fn stop(&mut self);
+
+    /// Pump until `visit` returns `Some`, the substrate goes quiescent,
+    /// `max_idle` consecutive idle pumps accrue, or `max_events` events
+    /// were processed. `visit` is called once per output in order; outputs
+    /// remaining in an event after it returns `Some` are dropped, matching
+    /// the await-one-outcome semantics every driver loop wants.
+    fn pump_until<R>(
+        &mut self,
+        max_events: u64,
+        max_idle: u32,
+        visit: &mut dyn FnMut(u64, ProcessId, O) -> Option<R>,
+    ) -> Option<R>
+    where
+        Self: Sized,
+    {
+        let mut events = 0u64;
+        let mut idle = 0u32;
+        while events < max_events {
+            match self.pump() {
+                Pumped::Quiescent => return None,
+                Pumped::Idle => {
+                    idle += 1;
+                    if idle >= max_idle {
+                        return None;
+                    }
+                }
+                Pumped::Event { time, pid, outputs } => {
+                    idle = 0;
+                    events += 1;
+                    for o in outputs {
+                        if let Some(r) = visit(time, pid, o) {
+                            return Some(r);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
 }
 
 impl<M, O> Simulation<M, O>
@@ -218,10 +272,17 @@ where
         Simulation::crash(self, pid);
     }
 
+    fn restart(&mut self, pid: ProcessId, auto: Box<dyn Automaton<M, O>>) {
+        Simulation::restart(self, pid, auto);
+    }
+
+    fn set_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: Option<LinkFault>) {
+        Simulation::set_link_fault(self, from, to, fault);
+    }
+
     fn stop(&mut self) {
-        // The simulator owns no resources beyond its event queue; draining
-        // it makes subsequent pumps quiescent, matching the contract.
-        while self.step().is_some() {}
+        // Discard, never execute: stopping must not run protocol work.
+        self.halt();
     }
 }
 
@@ -302,6 +363,14 @@ where
         delegate!(self, s => Substrate::<M, O>::crash(s, pid))
     }
 
+    fn restart(&mut self, pid: ProcessId, auto: Box<dyn Automaton<M, O>>) {
+        delegate!(self, s => Substrate::restart(s, pid, auto))
+    }
+
+    fn set_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: Option<LinkFault>) {
+        delegate!(self, s => Substrate::<M, O>::set_link_fault(s, from, to, fault))
+    }
+
     fn stop(&mut self) {
         delegate!(self, s => Substrate::<M, O>::stop(s))
     }
@@ -328,29 +397,7 @@ mod tests {
 
     fn drive<S: Substrate<u32, u32>>(sub: &mut S) -> Vec<(u64, ProcessId, u32)> {
         sub.inject(0, 10);
-        let mut got = Vec::new();
-        let mut idle = 0;
-        for _ in 0..100_000 {
-            match sub.pump() {
-                Pumped::Event { time, pid, outputs } => {
-                    idle = 0;
-                    for o in outputs {
-                        got.push((time, pid, o));
-                    }
-                    if !got.is_empty() {
-                        break;
-                    }
-                }
-                Pumped::Idle => {
-                    idle += 1;
-                    if idle > 20 {
-                        break;
-                    }
-                }
-                Pumped::Quiescent => break,
-            }
-        }
-        got
+        sub.pump_until(100_000, 20, &mut |time, pid, o| Some((time, pid, o))).into_iter().collect()
     }
 
     #[test]
@@ -366,6 +413,69 @@ mod tests {
             assert!(m.messages_delivered >= 11, "{backend:?}: {m:?}");
             sub.stop();
             assert!(matches!(sub.pump(), Pumped::Quiescent), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn stop_discards_pending_sends() {
+        // Regression: Simulation::stop() used to *execute* every pending
+        // event to drain the queue, running arbitrary protocol work and
+        // mutating metrics. It must discard instead: nothing pending at
+        // stop() is ever delivered. (On threads delivery is concurrent, so
+        // only the simulator can assert an exact cutoff.)
+        let procs: Vec<Box<dyn Automaton<u32, u32>>> = vec![Box::new(PingPong), Box::new(PingPong)];
+        let mut sub: Simulation<u32, u32> =
+            Simulation::from_procs(procs, &SubstrateConfig::seeded(2));
+        sub.inject(0, 500); // a 500-hop countdown is now pending
+        Substrate::pump(&mut sub); // deliver just the kick-off
+        let delivered_at_stop = sub.metrics_snapshot().messages_delivered;
+        Substrate::stop(&mut sub);
+        assert!(matches!(Substrate::pump(&mut sub), Pumped::Quiescent));
+        assert_eq!(
+            sub.metrics_snapshot().messages_delivered,
+            delivered_at_stop,
+            "stop() must not deliver pending sends"
+        );
+        assert!(delivered_at_stop < 500, "countdown must not have run to completion");
+    }
+
+    #[test]
+    fn restart_recovers_on_both_backends() {
+        for backend in [Backend::Sim, Backend::Threaded] {
+            let procs: Vec<Box<dyn Automaton<u32, u32>>> =
+                vec![Box::new(PingPong), Box::new(PingPong)];
+            let mut sub = AnySubstrate::spawn(backend, procs, &SubstrateConfig::seeded(4));
+            sub.crash(1);
+            sub.inject(0, 6);
+            assert!(
+                sub.pump_until(10_000, 20, &mut |_, _, o: u32| Some(o)).is_none(),
+                "{backend:?}: countdown completed through a crashed peer"
+            );
+            sub.restart(1, Box::new(PingPong));
+            sub.inject(0, 6);
+            let got = sub.pump_until(10_000, 200, &mut |_, _, o: u32| Some(o));
+            assert_eq!(got, Some(0), "{backend:?}: restarted peer participates");
+            sub.stop();
+        }
+    }
+
+    #[test]
+    fn link_faults_cut_and_heal_on_both_backends() {
+        for backend in [Backend::Sim, Backend::Threaded] {
+            let procs: Vec<Box<dyn Automaton<u32, u32>>> =
+                vec![Box::new(PingPong), Box::new(PingPong)];
+            let mut sub = AnySubstrate::spawn(backend, procs, &SubstrateConfig::seeded(6));
+            sub.set_link_fault(0, 1, Some(LinkFault::cut()));
+            sub.inject(0, 4);
+            assert!(
+                sub.pump_until(10_000, 20, &mut |_, _, o: u32| Some(o)).is_none(),
+                "{backend:?}: countdown crossed a cut link"
+            );
+            sub.set_link_fault(0, 1, None);
+            sub.inject(0, 4);
+            let got = sub.pump_until(10_000, 200, &mut |_, _, o: u32| Some(o));
+            assert_eq!(got, Some(0), "{backend:?}: healed link flows again");
+            sub.stop();
         }
     }
 

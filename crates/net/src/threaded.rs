@@ -21,31 +21,79 @@
 //! * **Fault injection**: [`FaultPlan`]s corrupt victim automata in-thread
 //!   (a control message invokes [`Automaton::corrupt`]) and inject garbage
 //!   messages on the listed channels with spoofed senders.
+//! * **Link faults**: workers consult a shared link-fault table before
+//!   every delivery; a faulted link drops, duplicates, or stalls the send
+//!   on the *sender* side, so FIFO order among surviving messages is
+//!   preserved (they still traverse one crossbeam channel in send order).
+//!   Faults apply to sends that *begin* after the table update — a send
+//!   racing the update may see either state, which is the honest threaded
+//!   analogue of a fault landing "at" an instant.
+//! * **Crash recovery**: a restart control message replaces the worker's
+//!   automaton in place, clears its timer wheel (old-incarnation timers
+//!   never fire), un-crashes it, and runs `on_start` — the inbox channel
+//!   and thread survive, so peers keep a working route to the process.
 //! * **Shutdown**: `stop` (and `Drop`) delivers stop controls and joins
 //!   every worker with a bounded timeout, so a hung automaton cannot hang
 //!   the driver.
 
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::corruption::FaultPlan;
 use crate::metrics::NetMetrics;
+use crate::nemesis::LinkFault;
 use crate::process::{Automaton, Ctx, ProcessId, ENV};
 use crate::substrate::{Backend, Pumped, Substrate, SubstrateConfig};
 use crate::trace::Trace;
 
-enum Ctl<M> {
+enum Ctl<M, O> {
     Msg { from: ProcessId, msg: M },
     Corrupt,
     Crash,
+    Restart(Box<dyn Automaton<M, O>>),
     Stop,
+}
+
+/// Shared per-directed-link fault table. The `AtomicBool` fast path keeps
+/// the fault-free hot loop lock-free: workers only take the mutex while at
+/// least one fault is installed.
+struct LinkFaults {
+    any_active: AtomicBool,
+    map: Mutex<HashMap<(ProcessId, ProcessId), LinkFault>>,
+}
+
+impl LinkFaults {
+    fn new() -> Self {
+        Self { any_active: AtomicBool::new(false), map: Mutex::new(HashMap::new()) }
+    }
+
+    fn get(&self, from: ProcessId, to: ProcessId) -> Option<LinkFault> {
+        if !self.any_active.load(Ordering::Acquire) {
+            return None;
+        }
+        self.map.lock().ok().and_then(|m| m.get(&(from, to)).copied())
+    }
+
+    fn set(&self, from: ProcessId, to: ProcessId, fault: Option<LinkFault>) {
+        if let Ok(mut m) = self.map.lock() {
+            match fault {
+                Some(f) => {
+                    m.insert((from, to), f);
+                }
+                None => {
+                    m.remove(&(from, to));
+                }
+            }
+            self.any_active.store(!m.is_empty(), Ordering::Release);
+        }
+    }
 }
 
 /// Lock-free counters shared by all workers; ENV tallies live in the
@@ -112,10 +160,11 @@ impl SharedMetrics {
 struct Worker<M, O> {
     pid: ProcessId,
     auto: Box<dyn Automaton<M, O>>,
-    rx: Receiver<Ctl<M>>,
-    peers: Vec<Sender<Ctl<M>>>,
+    rx: Receiver<Ctl<M, O>>,
+    peers: Vec<Sender<Ctl<M, O>>>,
     out: Sender<(u64, O)>,
     metrics: Arc<SharedMetrics>,
+    links: Arc<LinkFaults>,
     trace: Option<Arc<Mutex<Trace>>>,
     epoch: Instant,
     tick: Duration,
@@ -162,6 +211,16 @@ where
                 }
                 Some(Ctl::Corrupt) => {
                     self.auto.corrupt(&mut self.rng);
+                }
+                Some(Ctl::Restart(auto)) => {
+                    // Crash recovery with state loss: fresh automaton, no
+                    // surviving timers, inbox and thread reused.
+                    self.auto = auto;
+                    crashed = false;
+                    timers.clear();
+                    timer_seq = 0;
+                    let now = self.ticks();
+                    self.dispatch(now, &mut timers, &mut timer_seq, |auto, ctx| auto.on_start(ctx));
                 }
                 Some(Ctl::Msg { from, msg }) => {
                     if crashed {
@@ -214,11 +273,35 @@ where
         f(&mut *self.auto, &mut ctx);
         let (outbox, outputs, set_timers) = ctx.drain();
         for (to, msg) in outbox {
-            if to < self.peers.len() {
-                self.metrics.record_send(self.pid);
-                let _ = self.peers[to].send(Ctl::Msg { from: self.pid, msg });
-            } else {
+            if to >= self.peers.len() {
                 self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            match self.links.get(self.pid, to) {
+                None => {
+                    self.metrics.record_send(self.pid);
+                    let _ = self.peers[to].send(Ctl::Msg { from: self.pid, msg });
+                }
+                Some(f) => {
+                    if f.drop_rate > 0.0 && self.rng.gen_bool(f.drop_rate.min(1.0)) {
+                        self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if f.extra_delay > 0 {
+                        // Sender-side stall: delays this send and everything
+                        // after it on this worker, which keeps FIFO intact.
+                        // Capped so a fault cannot freeze a worker for long.
+                        let units = f.extra_delay.min(100) as u32;
+                        std::thread::sleep(self.tick.saturating_mul(units));
+                    }
+                    self.metrics.record_send(self.pid);
+                    let dup = f.dup_rate > 0.0 && self.rng.gen_bool(f.dup_rate.min(1.0));
+                    if dup {
+                        let _ = self.peers[to].send(Ctl::Msg { from: self.pid, msg: msg.clone() });
+                        self.metrics.record_send(self.pid);
+                    }
+                    let _ = self.peers[to].send(Ctl::Msg { from: self.pid, msg });
+                }
             }
         }
         for o in outputs {
@@ -239,10 +322,11 @@ fn ticks_since(epoch: Instant, tick: Duration) -> u64 {
 
 /// A running cluster of automata on OS threads.
 pub struct ThreadedCluster<M, O> {
-    inboxes: Vec<Sender<Ctl<M>>>,
+    inboxes: Vec<Sender<Ctl<M, O>>>,
     outputs: Vec<Receiver<(u64, O)>>,
     handles: Vec<JoinHandle<()>>,
     metrics: Arc<SharedMetrics>,
+    links: Arc<LinkFaults>,
     trace: Option<Arc<Mutex<Trace>>>,
     /// Driver-side RNG for fault-plan garbage generation.
     rng: StdRng,
@@ -271,7 +355,7 @@ where
         let mut inbox_tx = Vec::with_capacity(n);
         let mut inbox_rx = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded::<Ctl<M>>();
+            let (tx, rx) = unbounded::<Ctl<M, O>>();
             inbox_tx.push(tx);
             inbox_rx.push(rx);
         }
@@ -284,6 +368,7 @@ where
         }
 
         let metrics = Arc::new(SharedMetrics::new(n));
+        let links = Arc::new(LinkFaults::new());
         let trace = (config.trace_capacity > 0)
             .then(|| Arc::new(Mutex::new(Trace::new(config.trace_capacity))));
         let epoch = Instant::now();
@@ -299,6 +384,7 @@ where
                 peers: inbox_tx.clone(),
                 out,
                 metrics: Arc::clone(&metrics),
+                links: Arc::clone(&links),
                 trace: trace.clone(),
                 epoch,
                 tick: config.tick,
@@ -314,6 +400,7 @@ where
             outputs: out_rx,
             handles,
             metrics,
+            links,
             trace,
             rng: StdRng::seed_from_u64(config.seed ^ 0xD1B5_4A32_D192_ED03),
             epoch,
@@ -373,6 +460,18 @@ where
     /// Corrupt `pid`'s automaton state in-thread (transient fault).
     pub fn corrupt_process(&self, pid: ProcessId) {
         let _ = self.inboxes[pid].send(Ctl::Corrupt);
+    }
+
+    /// Restart `pid` with a fresh automaton (crash recovery): the control
+    /// message lands FIFO after everything already in `pid`'s inbox, so the
+    /// new incarnation sees only traffic sent after the restart was issued.
+    pub fn restart_process(&self, pid: ProcessId, auto: Box<dyn Automaton<M, O>>) {
+        let _ = self.inboxes[pid].send(Ctl::Restart(auto));
+    }
+
+    /// Install (`Some`) or clear (`None`) a link fault on `(from, to)`.
+    pub fn set_link_fault_on(&self, from: ProcessId, to: ProcessId, fault: Option<LinkFault>) {
+        self.links.set(from, to, fault);
     }
 
     /// Stop all threads and join them (bounded by the configured join
@@ -488,6 +587,14 @@ where
 
     fn crash(&mut self, pid: ProcessId) {
         let _ = self.inboxes[pid].send(Ctl::Crash);
+    }
+
+    fn restart(&mut self, pid: ProcessId, auto: Box<dyn Automaton<M, O>>) {
+        self.restart_process(pid, auto);
+    }
+
+    fn set_link_fault(&mut self, from: ProcessId, to: ProcessId, fault: Option<LinkFault>) {
+        self.set_link_fault_on(from, to, fault);
     }
 
     fn stop(&mut self) {

@@ -39,7 +39,7 @@ proptest! {
             match act {
                 Act::Send(v) => {
                     sent.push(v);
-                    if let Some(pair) = ch.schedule(0, 1, now, v, &mut rng) {
+                    if let Some(pair) = ch.schedule(0, 1, now, v, &mut rng).delivery() {
                         scheduled.push(pair);
                     }
                 }
@@ -69,9 +69,9 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         ch.pause(0, 1);
         for i in 0..n as u32 {
-            prop_assert!(ch.schedule(0, 1, 1, i, &mut rng).is_none());
-            prop_assert!(ch.schedule(1, 0, 1, i, &mut rng).is_some());
-            prop_assert!(ch.schedule(0, 2, 1, i, &mut rng).is_some());
+            prop_assert!(ch.schedule(0, 1, 1, i, &mut rng).delivery().is_none());
+            prop_assert!(ch.schedule(1, 0, 1, i, &mut rng).delivery().is_some());
+            prop_assert!(ch.schedule(0, 2, 1, i, &mut rng).delivery().is_some());
         }
         prop_assert_eq!(ch.held_count(0, 1), n);
     }

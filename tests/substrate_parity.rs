@@ -8,19 +8,21 @@ use std::time::Duration;
 
 use proptest::collection;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
 use sbft::datalink::DatalinkSim;
 use sbft::labels::{BoundedLabeling, MwmrLabeling};
 use sbft::net::{
-    AnySubstrate, Automaton, Backend, Ctx, ProcessId, Pumped, Substrate, SubstrateConfig,
-    ThreadedCluster, ENV,
+    AnySubstrate, Automaton, AutomatonFactory, Backend, Ctx, NemesisOpts, NemesisRunner,
+    NemesisSchedule, ProcessId, Substrate, SubstrateConfig, ThreadedCluster, ENV,
 };
+use sbft::register::adversary::random_message;
 use sbft::register::client::Client;
 use sbft::register::cluster::{Op, RegisterCluster};
 use sbft::register::config::ClusterConfig;
 use sbft::register::messages::{ClientEvent, Msg};
 use sbft::register::reader::ReaderOptions;
 use sbft::register::server::Server;
-use sbft::register::Ts;
+use sbft::register::{RetryPolicy, Ts};
 
 type B = BoundedLabeling;
 type M = Msg<Ts<B>>;
@@ -156,20 +158,11 @@ fn observed_order(backend: Backend, bursts: &[u64], seed: u64) -> BTreeMap<Proce
     let expected: u64 = bursts.iter().sum();
     let mut seen: BTreeMap<ProcessId, Vec<u64>> = BTreeMap::new();
     let mut got = 0u64;
-    let mut idle = 0u32;
-    while got < expected && idle < 50 {
-        match sub.pump() {
-            Pumped::Quiescent => break,
-            Pumped::Idle => idle += 1,
-            Pumped::Event { outputs, .. } => {
-                idle = 0;
-                for (from, seq) in outputs {
-                    seen.entry(from).or_default().push(seq);
-                    got += 1;
-                }
-            }
-        }
-    }
+    sub.pump_until(u64::MAX, 50, &mut |_time, _pid, (from, seq)| {
+        seen.entry(from).or_default().push(seq);
+        got += 1;
+        (got >= expected).then_some(())
+    });
     sub.stop();
     seen
 }
@@ -226,6 +219,89 @@ proptest! {
             outcomes
         };
         prop_assert_eq!(run(Backend::Sim), run(Backend::Threaded));
+    }
+}
+
+#[test]
+fn threaded_crash_mid_operation_still_terminates() {
+    // Crash an honest server while a write is in flight on the threaded
+    // backend. With n = 6 and f = 1 the five surviving servers still form
+    // the n - f quorum, so the retrying client must complete the write
+    // (possibly after a deadline-triggered retry) rather than hang.
+    let mut c = RegisterCluster::bounded(1)
+        .clients(1)
+        .seed(17)
+        .retry(RetryPolicy::chaos())
+        .build_threaded();
+    let w = c.client(0);
+    c.write(w, 1).expect("clean write before the crash");
+    c.invoke_write(w, 2);
+    c.sim.crash(0);
+    let ev = c.await_client(w).expect("write terminates despite the crash");
+    assert!(matches!(ev, ClientEvent::WriteDone { value: 2, .. }), "unexpected {ev:?}");
+    let got = c.read(w).expect("read terminates on the 5-server quorum");
+    assert_eq!(got.value, 2);
+    assert!(c.check_history().is_ok(), "crash must not break regularity");
+    c.stop();
+}
+
+/// One full chaos run on the simulator: the fired nemesis log, every
+/// client-visible op outcome, the final read, and the final clock.
+fn chaos_trace(seed: u64) -> (Vec<(u64, String)>, Vec<String>, u64, u64) {
+    let mut c =
+        RegisterCluster::bounded(1).clients(2).seed(seed).retry(RetryPolicy::chaos()).build();
+    let opts = NemesisOpts {
+        servers: c.cfg.n,
+        total_procs: c.cfg.n + 2,
+        horizon: 6_000,
+        ..NemesisOpts::default()
+    };
+    let schedule = NemesisSchedule::random(seed, &opts);
+    let cfg = c.cfg;
+    let sys = c.sys.clone();
+    let make_honest: AutomatonFactory<M, E> = Box::new(move |_pid| {
+        Box::new(Server::<B>::new(sys.clone(), cfg)) as Box<dyn Automaton<M, E>>
+    });
+    let sys_g = c.sys.clone();
+    let garbage = Box::new(move |rng: &mut StdRng| random_message::<B>(&sys_g, &cfg, rng));
+    let mut runner: NemesisRunner<M, E> =
+        NemesisRunner::new(schedule, make_honest, None, None, garbage);
+
+    let (w, r) = (c.client(0), c.client(1));
+    let mut outcomes = Vec::new();
+    let mut value = 0u64;
+    while !runner.done() && value < 200 {
+        let before = c.now();
+        runner.fire_due(&mut c.sim);
+        value += 1;
+        outcomes.push(format!("{:?}", c.write_outcome(w, value)));
+        outcomes.push(format!("{:?}", c.read_outcome(r)));
+        if c.now() == before && !runner.done() {
+            runner.fire_next(&mut c.sim);
+        }
+    }
+    let final_read = c.read(r).map(|ok| ok.value).unwrap_or(u64::MAX);
+    let log = runner.log.iter().map(|&(t, k)| (t, k.to_string())).collect();
+    let now = c.now();
+    c.stop();
+    (log, outcomes, final_read, now)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3 })]
+
+    /// The nemesis is part of the deterministic closure: the same seed and
+    /// the same schedule replay to the identical fired-event sequence, the
+    /// identical per-op outcomes, and the identical final state.
+    #[test]
+    fn nemesis_same_seed_same_schedule_is_deterministic(seed in 0u64..100) {
+        let a = chaos_trace(seed);
+        let b = chaos_trace(seed);
+        prop_assert!(!a.0.is_empty(), "schedule fired no events");
+        prop_assert!(a.1.len() >= 2, "no ops ran");
+        prop_assert_eq!(a.0, b.0, "nemesis event sequences diverged");
+        prop_assert_eq!(a.1, b.1, "op outcome sequences diverged");
+        prop_assert_eq!((a.2, a.3), (b.2, b.3), "final read / clock diverged");
     }
 }
 
