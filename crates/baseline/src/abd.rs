@@ -57,7 +57,7 @@ impl Automaton<BMsg, BEvent> for AbdServer {
             }
             Msg::Read { label } => ctx.send(
                 from,
-                Msg::Reply { value: self.value, ts: self.ts.clone(), old: vec![], label },
+                Msg::Reply { value: self.value, ts: self.ts.clone(), old: [].into(), label },
             ),
             _ => {}
         }

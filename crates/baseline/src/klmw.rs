@@ -80,7 +80,10 @@ impl Automaton<BMsg, BEvent> for KlmwServer {
                     self.value = value;
                     self.ts = ts.clone();
                     for (&reader, &label) in &self.running_read {
-                        ctx.send(reader, Msg::Reply { value, ts: ts.clone(), old: vec![], label });
+                        ctx.send(
+                            reader,
+                            Msg::Reply { value, ts: ts.clone(), old: [].into(), label },
+                        );
                     }
                 }
                 ctx.send(from, Msg::WriteAck { ts, ack: true });
@@ -89,7 +92,7 @@ impl Automaton<BMsg, BEvent> for KlmwServer {
                 self.running_read.insert(from, label);
                 ctx.send(
                     from,
-                    Msg::Reply { value: self.value, ts: self.ts.clone(), old: vec![], label },
+                    Msg::Reply { value: self.value, ts: self.ts.clone(), old: [].into(), label },
                 );
             }
             Msg::CompleteRead { label } if self.running_read.get(&from) == Some(&label) => {
@@ -131,7 +134,7 @@ impl Automaton<BMsg, BEvent> for KlmwEcho {
             }
             Msg::Read { label } => {
                 if let Some((v, ts)) = &self.pair {
-                    ctx.send(from, Msg::Reply { value: *v, ts: ts.clone(), old: vec![], label });
+                    ctx.send(from, Msg::Reply { value: *v, ts: ts.clone(), old: [].into(), label });
                 }
             }
             Msg::Write { ts, .. } => ctx.send(from, Msg::WriteAck { ts, ack: true }),

@@ -69,7 +69,7 @@ impl Automaton<BMsg, BEvent> for MrServer {
             }
             Msg::Read { label } => ctx.send(
                 from,
-                Msg::Reply { value: self.value, ts: self.ts.clone(), old: vec![], label },
+                Msg::Reply { value: self.value, ts: self.ts.clone(), old: [].into(), label },
             ),
             _ => {}
         }

@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! harness all            # every experiment (default scale)
-//! harness e1 … e10       # one experiment
+//! harness e1 … e15       # one experiment
 //! harness ablations      # the ablation tables
 //! harness quick          # all experiments at reduced scale (CI-sized)
+//! harness load           # E15 sustained-load run; writes BENCH_e15.json
 //! ```
+//!
+//! `load` accepts `--clients N` (default 4), `--ops N` (default 400) and
+//! `--quick` (smaller op counts); it always writes `BENCH_e15.json` to the
+//! current directory.
 
 use sbft_bench::*;
 
@@ -75,6 +80,23 @@ fn main() {
     if want("e14") {
         emit(e14_chaos::run(if quick { 3 } else { 10 }, if quick { 1 } else { 2 }));
     }
+    if want("e15") || arg == "load" {
+        let flag = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<u64>().ok())
+        };
+        let clients = flag("--clients").unwrap_or(4) as usize;
+        let ops = flag("--ops").unwrap_or(if quick { 60 } else { 400 });
+        let cells = e15_load::run_cells(clients, ops, 42);
+        emit(e15_load::table(&cells));
+        let json = e15_load::to_json(&cells);
+        match std::fs::write("BENCH_e15.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_e15.json ({} cells)", cells.len()),
+            Err(e) => eprintln!("could not write BENCH_e15.json: {e}"),
+        }
+    }
     if want("ablations") {
         emit(ablations::ablate_selection(seeds.min(5)));
         emit(ablations::ablate_union(seeds.min(5)));
@@ -83,7 +105,7 @@ fn main() {
 
     if !printed {
         eprintln!(
-            "unknown experiment {arg:?}; use all | quick | e1..e14 | ablations [--csv|--quick]"
+            "unknown experiment {arg:?}; use all | quick | e1..e15 | load | ablations [--csv|--quick|--clients N]"
         );
         std::process::exit(2);
     }

@@ -12,6 +12,7 @@
 //! `EXPERIMENTS.md` for recorded outputs and their interpretation.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod ablations;
 pub mod e10_datalink;
@@ -19,6 +20,7 @@ pub mod e11_byzantine_readers;
 pub mod e12_atomicity;
 pub mod e13_kv_store;
 pub mod e14_chaos;
+pub mod e15_load;
 pub mod e1_lower_bound;
 pub mod e2_termination;
 pub mod e3_propagation;

@@ -16,7 +16,7 @@ use sbft_labels::{LabelingSystem, ReadLabel};
 use sbft_net::{Automaton, Ctx, ProcessId, ENV};
 
 use crate::config::ClusterConfig;
-use crate::messages::{ClientEvent, Msg, ValTs, Value};
+use crate::messages::{ClientEvent, History, Msg, ValTs, Value};
 use crate::{Sys, Ts};
 
 /// Catalogue of built-in Byzantine behaviours.
@@ -123,7 +123,7 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for ByzServer<
                 Msg::Write { ts, .. } => ctx.send(from, Msg::WriteAck { ts, ack: false }),
                 Msg::Read { label } => ctx.send(
                     from,
-                    Msg::Reply { value: 0, ts: self.sys.genesis(), old: vec![], label },
+                    Msg::Reply { value: 0, ts: self.sys.genesis(), old: [].into(), label },
                 ),
                 Msg::Flush { label } => ctx.send(from, Msg::FlushAck { label }),
                 _ => {}
@@ -136,7 +136,7 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for ByzServer<
                     Msg::Reply {
                         value: self.stale.0,
                         ts: self.stale.1.clone(),
-                        old: vec![self.stale.clone()],
+                        old: [self.stale.clone()].into(),
                         label,
                     },
                 ),
@@ -179,7 +179,10 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for ByzServer<
                 Msg::Write { ts, .. } => ctx.send(from, Msg::WriteAck { ts, ack: true }),
                 Msg::Read { label } => {
                     let poison = self.sys.arbitrary(ctx.rng());
-                    ctx.send(from, Msg::Reply { value: u64::MAX, ts: poison, old: vec![], label });
+                    ctx.send(
+                        from,
+                        Msg::Reply { value: u64::MAX, ts: poison, old: [].into(), label },
+                    );
                 }
                 Msg::Flush { label } => ctx.send(from, Msg::FlushAck { label }),
                 _ => {}
@@ -209,7 +212,7 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for ByzServer<
                     // a history that also lags, maximizing split quorums.
                     let (value, ts) =
                         self.old_vals.first().cloned().unwrap_or((self.value, self.ts.clone()));
-                    let old: Vec<ValTs<Ts<B>>> = self.old_vals.iter().skip(1).cloned().collect();
+                    let old: History<Ts<B>> = self.old_vals.iter().skip(1).cloned().collect();
                     ctx.send(from, Msg::Reply { value, ts, old, label });
                 }
                 Msg::Flush { label } => ctx.send(from, Msg::FlushAck { label }),
@@ -268,7 +271,7 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for ScriptedSe
             Msg::Read { label } => {
                 let pair = self.one_shot.remove(&from).or_else(|| self.read_reply.clone());
                 if let Some((value, ts)) = pair {
-                    ctx.send(from, Msg::Reply { value, ts, old: vec![], label });
+                    ctx.send(from, Msg::Reply { value, ts, old: [].into(), label });
                 }
             }
             Msg::Flush { label } => ctx.send(from, Msg::FlushAck { label }),

@@ -377,9 +377,9 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for Client<B> 
                     if accepted {
                         // Figure 2a line 25: adopt the server's history.
                         let hist: Vec<ValTs<Ts<B>>> = old
-                            .into_iter()
+                            .iter()
                             .take(self.cfg.history_depth)
-                            .map(|(v, t)| (v, self.sys.sanitize(t)))
+                            .map(|(v, t)| (*v, self.sys.sanitize(t.clone())))
                             .collect();
                         self.recent_vals.insert(from, hist);
                         superseded_pair = superseded;
@@ -530,7 +530,7 @@ mod tests {
             let (sends, _) = deliver(&mut c, s, Msg::FlushAck { label });
             assert!(matches!(sends[0].1, Msg::Read { .. }));
             let (sends, outs) =
-                deliver(&mut c, s, Msg::Reply { value: 9, ts: t.clone(), old: vec![], label });
+                deliver(&mut c, s, Msg::Reply { value: 9, ts: t.clone(), old: [].into(), label });
             events.extend(outs);
             if s == 4 {
                 // Decision sends COMPLETE_READ to the safe set.
@@ -553,7 +553,7 @@ mod tests {
         let mut events = Vec::new();
         for s in 0..5 {
             let (_, outs) =
-                deliver(&mut c, s, Msg::Reply { value: 9, ts: g.clone(), old: vec![], label });
+                deliver(&mut c, s, Msg::Reply { value: 9, ts: g.clone(), old: [].into(), label });
             events.extend(outs);
         }
         assert!(events.is_empty());
@@ -569,7 +569,7 @@ mod tests {
         let g = c.sys.genesis();
         for s in 0..5 {
             deliver(&mut c, s, Msg::FlushAck { label: l1 });
-            deliver(&mut c, s, Msg::Reply { value: 0, ts: g.clone(), old: vec![], label: l1 });
+            deliver(&mut c, s, Msg::Reply { value: 0, ts: g.clone(), old: [].into(), label: l1 });
         }
         assert!(!c.is_busy());
         let (sends, _) = deliver(&mut c, ENV, Msg::InvokeRead);

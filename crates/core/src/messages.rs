@@ -6,6 +6,8 @@
 //! (including forged or stale) messages. `T` is the timestamp type
 //! ([`crate::Ts`] over some base labeling system).
 
+use std::sync::Arc;
+
 use sbft_labels::ReadLabel;
 
 /// Values stored in the register. A fixed scalar keeps the protocol layer
@@ -15,6 +17,16 @@ pub type Value = u64;
 /// A `(value, timestamp)` pair as stored in server histories and `REPLY`
 /// payloads.
 pub type ValTs<T> = (Value, T);
+
+/// A shared, immutable `old_vals` snapshot as shipped in [`Msg::Reply`].
+///
+/// `Arc<[..]>` instead of `Vec<..>` because a server fans the same history
+/// out to every running reader on each write (Figure 1 server side, last
+/// step): with `n` readers blocked on concurrent writes, a `Vec` payload
+/// deep-clones the window (timestamps included) once per recipient, while
+/// the `Arc` is built once per state change and each send is a reference
+/// bump. Measured by the E15 sustained-load benchmark (EXPERIMENTS.md).
+pub type History<T> = Arc<[ValTs<T>]>;
 
 /// Every message of the register protocol.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -60,8 +72,9 @@ pub enum Msg<T> {
         value: Value,
         /// The server's current timestamp.
         ts: T,
-        /// The server's `old_vals` sliding window (most recent first).
-        old: Vec<ValTs<T>>,
+        /// The server's `old_vals` sliding window (most recent first),
+        /// shared across all recipients of the same snapshot.
+        old: History<T>,
         /// Label of the read this reply answers.
         label: ReadLabel,
     },
@@ -177,7 +190,7 @@ mod tests {
     fn messages_are_cloneable_and_comparable() {
         let m: Msg<u64> = Msg::Write { value: 3, ts: 9 };
         assert_eq!(m.clone(), m);
-        let r: Msg<u64> = Msg::Reply { value: 1, ts: 2, old: vec![(0, 1)], label: 3 };
+        let r: Msg<u64> = Msg::Reply { value: 1, ts: 2, old: vec![(0, 1)].into(), label: 3 };
         assert_ne!(m, r);
     }
 }

@@ -24,7 +24,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use sbft_labels::{LabelingSystem, ReadLabel};
 use sbft_net::ProcessId;
 use sbft_wtsg::{
-    build_union, select_with_policy, HistoryEntry, SelectionPolicy, Witness, WtsGraph,
+    build_union, select_with_policy, HistoryEntry, IncrementalWtsg, SelectionPolicy, Witness,
 };
 
 use crate::config::ClusterConfig;
@@ -103,12 +103,23 @@ pub struct ReadPhase<B: LabelingSystem> {
     pub safe: BTreeSet<ProcessId>,
     /// Latest `(value, ts)` reply per safe server.
     pub replies: BTreeMap<ProcessId, ValTs<Ts<B>>>,
+    /// The local WTsG, maintained incrementally as replies arrive: each
+    /// accepted `REPLY` is applied as a testimony delta instead of
+    /// rebuilding the whole graph at decision time (the E15 read
+    /// hot-path optimization; equivalence with the from-scratch build is
+    /// property-tested in `sbft_wtsg::incremental`).
+    graph: IncrementalWtsg<Value, Ts<B>>,
 }
 
 impl<B: LabelingSystem> ReadPhase<B> {
     /// Start a read under `label` (caller broadcasts `FLUSH(label)`).
     pub fn new(label: ReadLabel) -> Self {
-        Self { label, safe: BTreeSet::new(), replies: BTreeMap::new() }
+        Self {
+            label,
+            safe: BTreeSet::new(),
+            replies: BTreeMap::new(),
+            graph: IncrementalWtsg::new(),
+        }
     }
 
     /// A `FLUSH_ACK(label)` arrived from `from`. Returns `true` when the
@@ -137,7 +148,9 @@ impl<B: LabelingSystem> ReadPhase<B> {
         if !cfg.is_server(from) || label != self.label || !self.safe.contains(&from) {
             return (false, None);
         }
-        let superseded = self.replies.insert(from, (value, sys.sanitize(ts)));
+        let ts = sys.sanitize(ts);
+        self.graph.set_current(from, value, ts.clone());
+        let superseded = self.replies.insert(from, (value, ts));
         (true, superseded)
     }
 
@@ -156,11 +169,10 @@ impl<B: LabelingSystem> ReadPhase<B> {
         recent_vals: &BTreeMap<ProcessId, Vec<ValTs<Ts<B>>>>,
     ) -> ReadDecision<B> {
         let threshold = cfg.witness_threshold();
-        let current: Vec<Witness<Value, Ts<B>>> =
-            self.replies.iter().map(|(&s, (v, t))| Witness::new(s, *v, t.clone())).collect();
-
-        let local = WtsGraph::build(sys, current.iter().cloned());
-        if let Some(node) = select_with_policy(sys, &local, threshold, opts.policy) {
+        // The local graph is already up to date: `on_reply` maintained it
+        // delta-by-delta, so the common case (a clean quorum) decides with
+        // no graph construction at all.
+        if let Some(node) = select_with_policy(sys, &self.graph, threshold, opts.policy) {
             return ReadDecision::Return {
                 value: node.value,
                 ts: node.ts.clone(),
@@ -169,6 +181,7 @@ impl<B: LabelingSystem> ReadPhase<B> {
         }
 
         if opts.use_union {
+            let current = self.replies.iter().map(|(&s, (v, t))| Witness::new(s, *v, t.clone()));
             let histories = recent_vals.iter().map(|(&s, hist)| {
                 (
                     s,
@@ -177,7 +190,7 @@ impl<B: LabelingSystem> ReadPhase<B> {
                         .collect::<Vec<_>>(),
                 )
             });
-            let union = build_union(sys, current.clone(), histories);
+            let union = build_union(sys, current, histories);
             if let Some(node) = select_with_policy(sys, &union, threshold, opts.policy) {
                 return ReadDecision::Return {
                     value: node.value,
@@ -190,9 +203,8 @@ impl<B: LabelingSystem> ReadPhase<B> {
             // TM_1R semantics: the read must return. Fall back to the
             // majority-of-correct bar (f + 1 witnesses pins one correct
             // server), then to any dominant node at all.
-            let local = WtsGraph::build(sys, current);
             for thr in [cfg.f + 1, 1] {
-                if let Some(node) = select_with_policy(sys, &local, thr, opts.policy) {
+                if let Some(node) = select_with_policy(sys, &self.graph, thr, opts.policy) {
                     return ReadDecision::Return {
                         value: node.value,
                         ts: node.ts.clone(),

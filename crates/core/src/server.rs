@@ -29,7 +29,7 @@ use sbft_labels::{LabelingSystem, ReadLabel};
 use sbft_net::{Automaton, Ctx, ProcessId, ENV};
 
 use crate::config::ClusterConfig;
-use crate::messages::{ClientEvent, Msg, ValTs, Value};
+use crate::messages::{ClientEvent, History, Msg, ValTs, Value};
 use crate::{Sys, Ts};
 
 /// A correct register server.
@@ -63,8 +63,10 @@ impl<B: LabelingSystem> Server<B> {
         }
     }
 
-    /// Snapshot of the history window, most recent first.
-    fn history(&self) -> Vec<ValTs<Ts<B>>> {
+    /// Shared snapshot of the history window, most recent first. Built
+    /// once per message; cloning the returned `Arc` is a reference bump,
+    /// so fanning one snapshot out to many readers deep-copies nothing.
+    fn history(&self) -> History<Ts<B>> {
         self.old_vals.iter().cloned().collect()
     }
 
@@ -117,15 +119,8 @@ impl<B: LabelingSystem> Automaton<Msg<Ts<B>>, ClientEvent<Ts<B>>> for Server<B> 
             }
             Msg::Read { label } => {
                 self.running_read.insert(from, label);
-                ctx.send(
-                    from,
-                    Msg::Reply {
-                        value: self.value,
-                        ts: self.ts.clone(),
-                        old: self.history(),
-                        label,
-                    },
-                );
+                let old = self.history();
+                ctx.send(from, Msg::Reply { value: self.value, ts: self.ts.clone(), old, label });
             }
             Msg::CompleteRead { label } => {
                 if self.running_read.get(&from) == Some(&label) {

@@ -44,7 +44,7 @@ pub mod trace;
 
 pub use channel::{DelayModel, Scheduled};
 pub use corruption::CorruptionSeverity;
-pub use metrics::NetMetrics;
+pub use metrics::{LatencyHistogram, NetMetrics};
 pub use nemesis::{
     AutomatonFactory, LinkFault, NemesisEvent, NemesisOpts, NemesisRunner, NemesisSchedule,
 };

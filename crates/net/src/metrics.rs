@@ -2,11 +2,107 @@
 //!
 //! The experiment harness reports message complexity (messages per
 //! operation) and event counts from these counters; per-process tallies
-//! support the quorum-cost comparison of experiment E7.
+//! support the quorum-cost comparison of experiment E7. The sustained-load
+//! experiment E15 additionally records per-operation latencies in a
+//! [`LatencyHistogram`].
 
 use std::collections::HashMap;
 
 use crate::process::ProcessId;
+
+/// Number of buckets in a [`LatencyHistogram`]: one per power of two up to
+/// `2^62`, plus an overflow bucket. 64 × 8 bytes keeps the histogram small
+/// enough to live inside per-client bench state.
+const HIST_BUCKETS: usize = 64;
+
+/// A fixed-bucket latency histogram with logarithmic (power-of-two)
+/// buckets.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` (bucket 0 also absorbs 0).
+/// Percentile queries return the *upper bound* of the bucket holding the
+/// requested rank — a conservative estimate whose relative error is bounded
+/// by the 2× bucket width, which is plenty for throughput trend tracking
+/// (E15) while keeping `record` allocation-free and O(1).
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample (any time unit; callers must stay consistent).
+    pub fn record(&mut self, sample: u64) {
+        // floor(log2(sample)), with 0 landing in bucket 0.
+        let idx = (63 - (sample | 1).leading_zeros()) as usize;
+        self.buckets[idx.min(HIST_BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bound of the bucket containing the `p`-th percentile
+    /// (`0.0 < p <= 100.0`); 0 when empty. The true sample is within 2× of
+    /// the returned value (and never above `max`).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i spans [2^i, 2^(i+1)); report the upper bound,
+                // clamped to the observed maximum.
+                let upper = if i + 1 >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
 
 /// Counters maintained by a [`crate::sim::Simulation`].
 #[derive(Clone, Debug, Default)]
@@ -86,6 +182,57 @@ mod tests {
         assert_eq!(m.received_by_process(1), 1);
         assert_eq!(m.messages_dropped, 1);
         assert_eq!(m.events_processed, 1);
+    }
+
+    #[test]
+    fn histogram_percentiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for s in 1..=1000u64 {
+            h.record(s);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        // p50 of 1..=1000 is 500; the bucket upper bound for 500 is 511.
+        let p50 = h.percentile(50.0);
+        assert!((500..=511).contains(&p50), "p50 = {p50}");
+        // p99 rank 990 lands in [512, 1023) → clamped to max 1000.
+        let p99 = h.percentile(99.0);
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert!((h.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_empty() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.percentile(99.0), 0, "sole sample 0 → p99 clamps to max 0");
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let (mut a, mut b) = (LatencyHistogram::new(), LatencyHistogram::new());
+        for s in [1u64, 2, 4] {
+            a.record(s);
+        }
+        for s in [1024u64, 2048] {
+            b.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 2048);
+        assert!(a.percentile(100.0) >= 1024);
+    }
+
+    #[test]
+    fn histogram_huge_samples_do_not_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(50.0), u64::MAX);
     }
 
     #[test]

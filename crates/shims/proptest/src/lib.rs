@@ -161,7 +161,7 @@ impl<V> Strategy for OneOf<V> {
 pub mod collection {
     use super::*;
 
-    /// Length distribution for [`vec`].
+    /// Length distribution for [`vec()`](fn@vec).
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -192,7 +192,7 @@ pub mod collection {
         VecStrategy { elem, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,

@@ -57,6 +57,47 @@ impl<V, T> WtsNode<V, T> {
     }
 }
 
+/// The node-level view of a Weighted Timestamp Graph that return-value
+/// selection needs.
+///
+/// Both the from-scratch [`WtsGraph`] and the delta-maintained
+/// [`crate::IncrementalWtsg`] implement it, so the selection rules in
+/// [`crate::select`] run unchanged over either representation. Edges are
+/// deliberately *not* part of this trait: per Definition 3 they are a pure
+/// function of the node timestamps (`ts_i ≺ ts_j`), so selection queries
+/// the labeling system's `precedes` directly instead of materializing
+/// them.
+pub trait Wtsg<V, T> {
+    /// All vertices, in an implementation-defined but stable order.
+    fn nodes(&self) -> &[WtsNode<V, T>];
+
+    /// Number of vertices.
+    fn node_count(&self) -> usize {
+        self.nodes().len()
+    }
+
+    /// Indices (into [`Wtsg::nodes`]) of nodes whose weight is at least
+    /// `threshold` — the `w(v) ≥ 2f+1` test of Figure 2a lines 10/16.
+    /// Returns a lazy iterator; no intermediate `Vec` is allocated.
+    fn candidates<'a>(&'a self, threshold: usize) -> impl Iterator<Item = usize> + 'a
+    where
+        V: 'a,
+        T: 'a,
+    {
+        self.nodes()
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| n.weight() >= threshold)
+            .map(|(i, _)| i)
+    }
+
+    /// Total weight across nodes (equals the number of distinct
+    /// `(server, ts, value)` testimonies).
+    fn total_weight(&self) -> usize {
+        self.nodes().iter().map(|n| n.weight()).sum()
+    }
+}
+
 /// A Weighted Timestamp Graph.
 ///
 /// Nodes are stored in deterministic order (sorted by `(ts, value)`), edges
@@ -113,7 +154,7 @@ where
         Self { nodes, edges }
     }
 
-    /// All vertices, in deterministic order.
+    /// All vertices, in deterministic `(ts, value)` order.
     pub fn nodes(&self) -> &[WtsNode<V, T>] {
         &self.nodes
     }
@@ -134,20 +175,28 @@ where
     }
 
     /// Indices of nodes whose weight is at least `threshold` (the
-    /// `node.weight ≥ 2f+1` test of Figure 2a lines 10/16).
-    pub fn candidates(&self, threshold: usize) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].weight() >= threshold).collect()
+    /// `node.weight ≥ 2f+1` test of Figure 2a lines 10/16), lazily.
+    pub fn candidates(&self, threshold: usize) -> impl Iterator<Item = usize> + '_ {
+        Wtsg::candidates(self, threshold)
     }
 
-    /// Whether node `i` has an edge to node `j`.
+    /// Whether node `i` has an edge to node `j`. Edges are generated in
+    /// lexicographic `(i, j)` order by [`WtsGraph::build`], so this is a
+    /// binary search.
     pub fn has_edge(&self, i: usize, j: usize) -> bool {
-        self.edges.binary_search(&(i, j)).is_ok() || self.edges.contains(&(i, j))
+        self.edges.binary_search(&(i, j)).is_ok()
     }
 
     /// Total weight across nodes (equals the number of distinct
     /// `(server, ts, value)` testimonies).
     pub fn total_weight(&self) -> usize {
         self.nodes.iter().map(|n| n.weight()).sum()
+    }
+}
+
+impl<V, T> Wtsg<V, T> for WtsGraph<V, T> {
+    fn nodes(&self) -> &[WtsNode<V, T>] {
+        &self.nodes
     }
 }
 
@@ -200,9 +249,9 @@ mod tests {
             &UnboundedLabeling,
             vec![w(0, "a", 1), w(1, "a", 1), w(2, "a", 1), w(3, "b", 2)],
         );
-        assert_eq!(g.candidates(3).len(), 1);
-        assert_eq!(g.candidates(1).len(), 2);
-        assert!(g.candidates(4).is_empty());
+        assert_eq!(g.candidates(3).count(), 1);
+        assert_eq!(g.candidates(1).count(), 2);
+        assert_eq!(g.candidates(4).count(), 0);
     }
 
     #[test]
@@ -210,7 +259,7 @@ mod tests {
         let g: WtsGraph<String, u64> = WtsGraph::build(&UnboundedLabeling, vec![]);
         assert_eq!(g.node_count(), 0);
         assert_eq!(g.edge_count(), 0);
-        assert!(g.candidates(1).is_empty());
+        assert_eq!(g.candidates(1).count(), 0);
         assert_eq!(g.total_weight(), 0);
     }
 

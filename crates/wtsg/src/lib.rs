@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod graph;
+pub mod incremental;
 pub mod select;
 pub mod union;
 
-pub use graph::{Witness, WtsGraph, WtsNode};
+pub use graph::{Witness, WtsGraph, WtsNode, Wtsg};
+pub use incremental::IncrementalWtsg;
 pub use select::{select_max_weight, select_return_value, select_with_policy, SelectionPolicy};
 pub use union::{build_union, HistoryEntry};

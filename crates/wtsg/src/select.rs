@@ -21,7 +21,7 @@ use std::hash::Hash;
 
 use sbft_labels::LabelingSystem;
 
-use crate::graph::{WtsGraph, WtsNode};
+use crate::graph::{WtsNode, Wtsg};
 
 /// Which selection rule a reader uses (ablation knob).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -34,9 +34,13 @@ pub enum SelectionPolicy {
 }
 
 /// Select the node whose value a read should return, under `policy`.
-pub fn select_with_policy<'g, V, T, S>(
+///
+/// Generic over any [`Wtsg`] node view — the from-scratch
+/// [`crate::WtsGraph`] and the delta-maintained [`crate::IncrementalWtsg`]
+/// both qualify.
+pub fn select_with_policy<'g, V, T, S, G>(
     sys: &S,
-    graph: &'g WtsGraph<V, T>,
+    graph: &'g G,
     threshold: usize,
     policy: SelectionPolicy,
 ) -> Option<&'g WtsNode<V, T>>
@@ -44,6 +48,7 @@ where
     V: Clone + Eq + Ord + Hash + Debug,
     T: Clone + Eq + Ord + Hash + Debug,
     S: LabelingSystem<Label = T>,
+    G: Wtsg<V, T>,
 {
     match policy {
         SelectionPolicy::DominantSink => select_return_value(sys, graph, threshold),
@@ -58,17 +63,18 @@ where
 ///
 /// Returns `None` when no node reaches the threshold — the caller then
 /// falls back to the union graph or aborts (Figure 2a lines 14–19).
-pub fn select_return_value<'g, V, T, S>(
+pub fn select_return_value<'g, V, T, S, G>(
     sys: &S,
-    graph: &'g WtsGraph<V, T>,
+    graph: &'g G,
     threshold: usize,
 ) -> Option<&'g WtsNode<V, T>>
 where
     V: Clone + Eq + Ord + Hash + Debug,
     T: Clone + Eq + Ord + Hash + Debug,
     S: LabelingSystem<Label = T>,
+    G: Wtsg<V, T>,
 {
-    let cands = graph.candidates(threshold);
+    let cands: Vec<usize> = Wtsg::candidates(graph, threshold).collect();
     if cands.is_empty() {
         return None;
     }
@@ -99,10 +105,11 @@ where
 }
 
 /// Ablation rule: pick the heaviest qualifying node, ignoring precedence.
-pub fn select_max_weight<V, T>(graph: &WtsGraph<V, T>, threshold: usize) -> Option<&WtsNode<V, T>>
+pub fn select_max_weight<V, T, G>(graph: &G, threshold: usize) -> Option<&WtsNode<V, T>>
 where
     V: Clone + Eq + Ord + Hash + Debug,
     T: Clone + Eq + Ord + Hash + Debug,
+    G: Wtsg<V, T>,
 {
     graph.nodes().iter().filter(|n| n.weight() >= threshold).max_by(|a, b| {
         a.weight()
@@ -114,7 +121,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::Witness;
+    use crate::graph::{Witness, WtsGraph};
     use sbft_labels::UnboundedLabeling;
 
     fn w(server: usize, value: &str, ts: u64) -> Witness<String, u64> {

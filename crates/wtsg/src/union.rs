@@ -49,14 +49,15 @@ where
     T: Clone + Eq + Ord + Hash + Debug,
     S: LabelingSystem<Label = T>,
 {
-    let mut all: Vec<Witness<V, T>> = current.into_iter().collect();
-    for (server, hist) in histories {
-        for (idx, h) in hist.into_iter().enumerate() {
-            // History position idx (most recent first) → recency idx + 1.
-            all.push(Witness::with_recency(server, h.value, h.ts, idx + 1));
-        }
-    }
-    WtsGraph::build(sys, all)
+    // Chain the testimonies straight into `build` — no intermediate
+    // collection. History position idx (most recent first) → recency
+    // idx + 1.
+    let historical = histories.into_iter().flat_map(|(server, hist)| {
+        hist.into_iter()
+            .enumerate()
+            .map(move |(idx, h)| Witness::with_recency(server, h.value, h.ts, idx + 1))
+    });
+    WtsGraph::build(sys, current.into_iter().chain(historical))
 }
 
 #[cfg(test)]

@@ -60,6 +60,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Compiles and runs every Rust code block in the top-level `README.md` as
+/// a doctest, so the quickstart snippets shown to newcomers can never rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
 
 pub use sbft_baseline as baseline;
 pub use sbft_core as register;
