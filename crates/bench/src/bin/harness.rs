@@ -6,11 +6,18 @@
 //! harness ablations      # the ablation tables
 //! harness quick          # all experiments at reduced scale (CI-sized)
 //! harness load           # E15 sustained-load run; writes BENCH_e15.json
+//! harness explore        # E16 exhaustive schedule exploration
 //! ```
 //!
 //! `load` accepts `--clients N` (default 4), `--ops N` (default 400) and
 //! `--quick` (smaller op counts); it always writes `BENCH_e15.json` to the
 //! current directory.
+//!
+//! `explore` (alias `e16`) accepts `--quick` (smaller fork depth) and
+//! writes the found-and-shrunk Theorem 1 counterexample to
+//! `E16_counterexample.trace`; `explore --replay <file>` re-executes a
+//! trace file verbatim and exits non-zero unless the recorded violation
+//! reproduces.
 
 use sbft_bench::*;
 
@@ -97,6 +104,39 @@ fn main() {
             Err(e) => eprintln!("could not write BENCH_e15.json: {e}"),
         }
     }
+    if want("e16") || arg == "explore" {
+        let replay_file =
+            args.iter().position(|a| a == "--replay").and_then(|i| args.get(i + 1)).cloned();
+        if let Some(path) = replay_file {
+            // Replay mode: re-execute a counterexample trace verbatim.
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("could not read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match e16_explore::replay_trace(&text) {
+                Ok(msg) => {
+                    println!("{path}: {msg}");
+                    std::process::exit(0);
+                }
+                Err(msg) => {
+                    eprintln!("{path}: replay FAILED: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            let out = e16_explore::run(quick);
+            emit(out.table);
+            if let Some(trace) = out.counterexample {
+                match std::fs::write("E16_counterexample.trace", &trace) {
+                    Ok(()) => eprintln!("wrote E16_counterexample.trace"),
+                    Err(e) => eprintln!("could not write E16_counterexample.trace: {e}"),
+                }
+            }
+        }
+    }
     if want("ablations") {
         emit(ablations::ablate_selection(seeds.min(5)));
         emit(ablations::ablate_union(seeds.min(5)));
@@ -105,7 +145,7 @@ fn main() {
 
     if !printed {
         eprintln!(
-            "unknown experiment {arg:?}; use all | quick | e1..e15 | load | ablations [--csv|--quick|--clients N]"
+            "unknown experiment {arg:?}; use all | quick | e1..e16 | load | explore | ablations [--csv|--quick|--clients N|--replay FILE]"
         );
         std::process::exit(2);
     }

@@ -122,11 +122,15 @@ pub struct LoadCell {
     pub ops_ok: u64,
     /// Operations that terminated unsuccessfully (abort/timeout).
     pub ops_failed: u64,
-    /// Open-loop arrivals dropped because the client was busy.
+    /// Open-loop arrivals dropped because the client was busy. Reported
+    /// separately (a rejection is load shed at the door, not an operation
+    /// the system performed) and **never** part of [`LoadCell::ops_per_sec`]
+    /// or the latency histogram.
     pub rejected: u64,
     /// Wall-clock milliseconds for the whole run.
     pub wall_ms: f64,
-    /// Completed operations per wall-clock second.
+    /// Completed operations (`ops_ok + ops_failed`, excluding `rejected`)
+    /// per wall-clock second.
     pub ops_per_sec: f64,
     /// Substrate ticks elapsed (virtual time on sim, ticks on threads).
     pub ticks: u64,
@@ -333,6 +337,8 @@ fn finish_cell(
     msgs: u64,
 ) -> LoadCell {
     let wall_ms = wall.as_secs_f64() * 1e3;
+    // Throughput counts operations the system actually executed; busy-client
+    // rejections are excluded here and surfaced via the `rejected` column.
     let completed = ops_ok + ops_failed;
     LoadCell {
         workload,
@@ -450,6 +456,31 @@ mod tests {
         let cell = run_register_cell(Backend::Sim, &spec);
         assert!(cell.rejected > 0, "{cell:?}");
         assert!(cell.ops_ok > 0);
+    }
+
+    #[test]
+    fn open_loop_rejections_are_excluded_from_throughput() {
+        // Interval 1 tick with 1 client forces heavy saturation: most
+        // arrivals find the client busy and must be rejected.
+        let spec = LoadSpec { write_ratio: 50, ..LoadSpec::open(1, 80, 1, 9) };
+        let cell = run_register_cell(Backend::Sim, &spec);
+        assert!(cell.rejected > 0, "{cell:?}");
+        // Conservation: every arrival either completed or was rejected.
+        assert_eq!(cell.ops_ok + cell.ops_failed + cell.rejected, 80, "{cell:?}");
+        // ops/sec is computed from completions only — recompute it.
+        let completed = cell.ops_ok + cell.ops_failed;
+        let expected = completed as f64 / (cell.wall_ms / 1e3);
+        assert!(
+            (cell.ops_per_sec - expected).abs() <= expected * 1e-9,
+            "ops_per_sec {} must equal completed/wall {}",
+            cell.ops_per_sec,
+            expected
+        );
+        // Rejections never enter the latency histogram either.
+        assert_eq!(cell.latency.count(), completed);
+        // And the JSON report carries the rejections as their own field.
+        let json = to_json(std::slice::from_ref(&cell));
+        assert!(json.contains(&format!("\"rejected\": {}", cell.rejected)), "{json}");
     }
 
     #[test]

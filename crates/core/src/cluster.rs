@@ -557,6 +557,20 @@ where
     pub fn check_history_from(&self, t: u64) -> Result<(), Vec<RegularityError>> {
         self.recorder.check_from(&self.sys, t)
     }
+
+    /// Record one externally-observed client event into the history — the
+    /// spec hook for drivers that step the substrate *themselves* (the
+    /// schedule explorer) instead of going through the pump helpers above.
+    /// Returns the closed op's index when `ev` was terminal for an open op,
+    /// so callers can re-check regularity exactly when the history grew.
+    pub fn observe_event(
+        &mut self,
+        time: u64,
+        pid: ProcessId,
+        ev: &ClientEvent<Ts<B>>,
+    ) -> Option<usize> {
+        self.recorder.complete(pid, time, ev)
+    }
 }
 
 /// Simulator-only surface: typed state inspection requires in-process

@@ -165,6 +165,14 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
         &self.ops
     }
 
+    /// Number of operations still open (invoked, no terminal event yet).
+    /// The schedule explorer uses this as its termination invariant: a
+    /// quiescent network with open operations means some op can never
+    /// finish.
+    pub fn open_ops(&self) -> usize {
+        self.open.len()
+    }
+
     /// Number of reads that completed with an abort.
     pub fn aborted_reads(&self) -> usize {
         self.ops.iter().filter(|o| matches!(o.outcome, Some(OpOutcome::ReadAbort))).count()
@@ -248,21 +256,29 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
         self.check_from(sys, 0)
     }
 
-    /// Check the suffix: only reads invoked at/after `from_time` must be
-    /// valid, and only write pairs both completing at/after `from_time`
-    /// must be timestamp-ordered. (Writes from before the suffix still
-    /// participate as candidate return values.)
+    /// Check the suffix: equivalent to [`HistoryRecorder::check_window`]
+    /// with `to_time = u64::MAX`, so only operations running **entirely**
+    /// at/after `from_time` are scrutinized. (Writes from before the suffix
+    /// still participate as candidate return values.)
     pub fn check_from(&self, sys: &Sys<B>, from_time: u64) -> Result<(), Vec<RegularityError>> {
         self.check_window(sys, from_time, u64::MAX)
     }
 
-    /// Check one stable window `[from_time, to_time]` of a longer, nemesis-
-    /// disturbed execution: only reads running entirely inside the window
-    /// must be valid, and only write pairs both completing inside it must
-    /// be timestamp-ordered. Operations straddling a window edge overlap a
-    /// disturbance and are exempt (they get the next window's scrutiny if
-    /// they retry). Writes from *anywhere* still participate as candidate
-    /// sources for the reads under check.
+    /// Check one stable window of a longer, nemesis-disturbed execution.
+    ///
+    /// **Window membership rule:** the window is the *closed* interval
+    /// `[from_time, to_time]`, and an operation is scrutinized iff it runs
+    /// entirely inside it — `invoked_at >= from_time` **and**
+    /// `returned_at <= to_time`. The rule is the same for reads (validity)
+    /// and writes (timestamp order). An operation that *straddles* either
+    /// edge — started before `from_time`, or finished after `to_time`, or
+    /// still pending — overlaps a disturbance and is exempt (it gets the
+    /// next window's scrutiny if it retries). Consequently adjacent windows
+    /// `[a, b]` and `[b+1, c]` scrutinize each op at most once, and the only
+    /// ops neither window checks are the true straddlers of the shared
+    /// boundary. Writes from *anywhere* still participate as candidate
+    /// sources for the reads under check (and as consecutiveness breakers
+    /// for the write-order check).
     pub fn check_window(
         &self,
         sys: &Sys<B>,
@@ -434,13 +450,18 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
         to_time: u64,
         errors: &mut Vec<RegularityError>,
     ) {
+        // Same membership rule as check_reads: a write is scrutinized only
+        // when it ran entirely inside the closed window. (Filtering on
+        // returned_at alone used to pull in writes that *started* before
+        // from_time — ops straddling the leading edge overlap a disturbance
+        // and may legitimately carry a pre-fault timestamp.)
         let suffix: Vec<usize> = self
             .ops
             .iter()
             .enumerate()
             .filter(|(_, o)| {
                 o.as_write().is_some()
-                    && o.returned_at.unwrap_or(0) >= from_time
+                    && o.invoked_at >= from_time
                     && o.returned_at.unwrap_or(u64::MAX) <= to_time
             })
             .map(|(i, _)| i)
@@ -461,11 +482,10 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
                 // `b`. A write merely *concurrent* with either endpoint
                 // already breaks consecutiveness, because the endpoint's
                 // quorum may have absorbed its (incomparable) timestamp.
-                let intervening = suffix.iter().any(|&k| {
-                    k != i && k != j && {
-                        let w = &self.ops[k];
-                        !w.precedes(a) && !b.precedes(w)
-                    }
+                // Any completed write counts here — including window
+                // straddlers that are themselves exempt from scrutiny.
+                let intervening = self.ops.iter().enumerate().any(|(k, w)| {
+                    k != i && k != j && w.as_write().is_some() && !w.precedes(a) && !b.precedes(w)
                 });
                 if intervening {
                     continue;
@@ -732,6 +752,52 @@ mod tests {
         );
         assert!(h.check_window(&s, 10, 100).is_ok());
         assert!(h.check_window(&s, 10, 200).is_err());
+    }
+
+    #[test]
+    fn window_check_exempts_writes_straddling_the_leading_edge() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        let g = s.genesis();
+        let ts1 = s.next_for(1, std::slice::from_ref(&g));
+        let ts2 = s.next_for(2, std::slice::from_ref(&ts1));
+        // w(ts2) straddles the edge at t=15: invoked 10, returned 20.
+        // w(ts1) runs entirely inside: [30, 40]. Their timestamp order is
+        // inverted relative to real time — but the straddler overlaps the
+        // disturbance, so the window starting at 15 must exempt the pair.
+        h.begin(10, OpKind::Write, 10);
+        h.complete(10, 20, &ClientEvent::WriteDone { value: 1, ts: ts2 });
+        h.begin(10, OpKind::Write, 30);
+        h.complete(10, 40, &ClientEvent::WriteDone { value: 2, ts: ts1 });
+        assert!(h.check(&s).is_err(), "full check still sees the inversion");
+        assert!(
+            h.check_from(&s, 15).is_ok(),
+            "a write invoked before the window start is exempt even though it returned inside"
+        );
+    }
+
+    #[test]
+    fn straddling_write_still_breaks_consecutiveness() {
+        let s = sys();
+        let mut h = HistoryRecorder::<B>::new();
+        let g = s.genesis();
+        let ts1 = s.next_for(1, std::slice::from_ref(&g));
+        let ts2 = s.next_for(2, std::slice::from_ref(&ts1));
+        // In-window pair w(ts2) [20,30] ≺ w(ts1) [60,70] is ts-inverted,
+        // but a third write [5,45] straddles the window start and overlaps
+        // the first endpoint — the pair is not consecutive, so Lemma 8
+        // does not apply and no flag may be raised.
+        h.begin(12, OpKind::Write, 5);
+        let ts3 = s.next_for(3, std::slice::from_ref(&ts2));
+        h.complete(12, 45, &ClientEvent::WriteDone { value: 3, ts: ts3 });
+        h.begin(10, OpKind::Write, 20);
+        h.complete(10, 30, &ClientEvent::WriteDone { value: 1, ts: ts2 });
+        h.begin(10, OpKind::Write, 60);
+        h.complete(10, 70, &ClientEvent::WriteDone { value: 2, ts: ts1 });
+        assert!(
+            h.check_from(&s, 10).is_ok(),
+            "an exempt straddler must still break consecutiveness for in-window pairs"
+        );
     }
 
     #[test]

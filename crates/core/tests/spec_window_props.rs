@@ -1,0 +1,111 @@
+//! Property tests for the `check_window` boundary semantics: splitting an
+//! execution into adjacent windows `[0, b]` and `[b+1, MAX]` must scrutinize
+//! every operation at most once, and the only ops neither window checks are
+//! the true straddlers of the shared boundary.
+
+use proptest::prelude::*;
+use sbft_core::messages::ClientEvent;
+use sbft_core::spec::{HistoryRecorder, OpKind, RegularityError};
+use sbft_core::{Sys, Ts};
+use sbft_labels::{BoundedLabeling, LabelingSystem, MwmrLabeling};
+
+type B = BoundedLabeling;
+
+fn sys() -> Sys<B> {
+    MwmrLabeling::new(BoundedLabeling::new(7))
+}
+
+/// Record one garbage read per `(invoked, len)` span, each on its own
+/// client and returning its own unique unknown value, so every span yields
+/// exactly one attributable `UnknownValue` violation under the full check.
+fn garbage_history(s: &Sys<B>, spans: &[(u64, u64)]) -> HistoryRecorder<B> {
+    let mut h = HistoryRecorder::<B>::new();
+    for (i, &(invoked, len)) in spans.iter().enumerate() {
+        let client = 100 + i;
+        h.begin(client, OpKind::Read, invoked);
+        let ev =
+            ClientEvent::ReadDone { value: 10_000 + i as u64, ts: s.genesis(), via_union: false };
+        h.complete(client, invoked + len, &ev);
+    }
+    h
+}
+
+/// The unknown values flagged by a windowed check.
+fn flagged(res: Result<(), Vec<RegularityError>>) -> Vec<u64> {
+    match res {
+        Ok(()) => Vec::new(),
+        Err(errs) => errs
+            .into_iter()
+            .filter_map(|e| match e {
+                RegularityError::UnknownValue { value, .. } => Some(value),
+                _ => None,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn adjacent_windows_never_double_flag_and_skip_only_boundary_straddlers(
+        spans in proptest::collection::vec((0u64..200, 0u64..60), 1..12),
+        boundary in 1u64..260,
+    ) {
+        let s = sys();
+        let h = garbage_history(&s, &spans);
+        let first = flagged(h.check_window(&s, 0, boundary));
+        let second = flagged(h.check_window(&s, boundary + 1, u64::MAX));
+        for (i, &(invoked, len)) in spans.iter().enumerate() {
+            let value = 10_000 + i as u64;
+            let returned = invoked + len;
+            let in_first = returned <= boundary;
+            let in_second = invoked > boundary;
+            prop_assert!(!(in_first && in_second), "an op cannot lie in both windows");
+            prop_assert_eq!(
+                first.contains(&value),
+                in_first,
+                "window [0, {}] vs op [{}, {}]", boundary, invoked, returned
+            );
+            prop_assert_eq!(
+                second.contains(&value),
+                in_second,
+                "window [{}, MAX] vs op [{}, {}]", boundary + 1, invoked, returned
+            );
+            // Exactly the boundary straddlers escape both windows.
+            let skipped = !first.contains(&value) && !second.contains(&value);
+            prop_assert_eq!(skipped, invoked <= boundary && returned > boundary);
+        }
+    }
+}
+
+/// A `Ts<B>` helper for the write-order half of the rule.
+fn next(s: &Sys<B>, writer: u32, prev: &Ts<B>) -> Ts<B> {
+    s.next_for(writer, std::slice::from_ref(prev))
+}
+
+proptest! {
+    /// A timestamp-inverted consecutive write pair is flagged by a window
+    /// iff *both* writes run entirely inside it — shifting the window start
+    /// past the first write's invocation always exempts the pair.
+    #[test]
+    fn write_pair_flagged_iff_both_writes_fully_inside(
+        start in 0u64..50,
+        gap in 1u64..30,
+        from_time in 0u64..120,
+    ) {
+        let s = sys();
+        let ts1 = next(&s, 1, &s.genesis());
+        let ts2 = next(&s, 2, &ts1);
+        let mut h = HistoryRecorder::<B>::new();
+        // Real time w(ts2) ≺ w(ts1), timestamps inverted.
+        let (a0, a1) = (start, start + gap);
+        let (b0, b1) = (a1 + gap, a1 + 2 * gap);
+        h.begin(10, OpKind::Write, a0);
+        h.complete(10, a1, &ClientEvent::WriteDone { value: 1, ts: ts2 });
+        h.begin(10, OpKind::Write, b0);
+        h.complete(10, b1, &ClientEvent::WriteDone { value: 2, ts: ts1 });
+        let res = h.check_from(&s, from_time);
+        let both_inside = a0 >= from_time; // b0 > a0, so only `a` can straddle
+        prop_assert_eq!(res.is_err(), both_inside,
+            "window [{}, MAX] vs writes [{}, {}] and [{}, {}]", from_time, a0, a1, b0, b1);
+    }
+}

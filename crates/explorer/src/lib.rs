@@ -1,0 +1,596 @@
+//! # sbft-explorer — bounded-exhaustive schedule exploration
+//!
+//! The paper's guarantees are quantified over *every* asynchronous
+//! schedule, but the harness otherwise only samples schedules (seeded
+//! delays, nemesis scripts). This crate checks small configurations
+//! *exhaustively*: a depth-bounded DFS forks on every enabled event of the
+//! deterministic simulator — the FIFO head of each in-flight channel, each
+//! pending timer — and asserts the register specification after every
+//! transition.
+//!
+//! ## Design: step-replay, not state-forking
+//!
+//! Protocol processes are `Box<dyn Automaton>` state machines and are
+//! deliberately **not** cloneable (real implementations hold whatever they
+//! hold), so the explorer cannot snapshot a simulator mid-run and fork it.
+//! Instead it relies on the substrate's end-to-end determinism: a
+//! [`Scenario`] rebuilds the *identical* initial state on every
+//! [`Scenario::start`], and a schedule is re-entered by replaying its
+//! [`EventKey`] choice sequence through [`Simulation::step_key`]. Replay
+//! costs `O(depth)` per schedule, but keys — `(src, dst)` channel
+//! identities and `(pid, id)` timer identities — stay meaningful across
+//! interleavings, which is also what makes shrunk counterexample traces
+//! replayable verbatim.
+//!
+//! [`Simulation::step_key`]: sbft_net::Simulation::step_key
+//!
+//! ## Pruning: sleep sets over an independence relation
+//!
+//! Two enabled events *commute* when they touch different destination
+//! processes: per-channel FIFO plus deterministic automata mean delivering
+//! to `p` then `q` or `q` then `p` reaches the same state. The classic
+//! sleep-set construction (Godefroid) exploits this: after exploring
+//! candidate `c₀` from a node, the sibling branch taken instead inherits
+//! `c₀` in its *sleep set* and never re-executes it first while it stays
+//! independent of everything chosen since — cutting the factorial blowup
+//! of equivalent orderings without missing any inequivalent one.
+//!
+//! On violation the offending schedule is shrunk to a 1-minimal event
+//! sequence ([`shrink`]) and serialized as a replayable trace file
+//! ([`format_trace`] / [`parse_trace`]) that `harness explore --replay`
+//! re-executes verbatim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenario;
+
+use sbft_net::{EventKey, ProcessId, ENV};
+
+/// Result of executing one explorer-chosen event against a scenario run.
+#[derive(Clone, Debug)]
+pub enum StepResult {
+    /// The event executed and every invariant still holds.
+    Ok,
+    /// The event executed and broke an invariant (description attached).
+    Violation(String),
+    /// The key is not enabled in this run — replaying a schedule against
+    /// the wrong scenario state, or a shrink candidate that removed an
+    /// event some later event depended on.
+    Infeasible,
+}
+
+/// A deterministic, restartable system-under-test.
+///
+/// `start` must rebuild the *identical* initial state every time it is
+/// called — the explorer re-enters schedules by replaying key sequences
+/// from scratch, so any nondeterminism in setup breaks both exploration
+/// and counterexample replay.
+pub trait Scenario {
+    /// Per-run state.
+    type Run: ScenarioRun;
+    /// Stable name, used in trace files and reports.
+    fn name(&self) -> &str;
+    /// Build a fresh run at the schedule's fork point.
+    fn start(&self) -> Self::Run;
+}
+
+/// One run of a scenario, stepped event-by-event by the explorer.
+pub trait ScenarioRun {
+    /// The currently enabled event keys (sorted, deduplicated).
+    fn enabled(&self) -> Vec<EventKey>;
+    /// Execute one enabled event and re-check the invariants.
+    fn step(&mut self, key: EventKey) -> StepResult;
+    /// A schedule ended: `bounded` is true when it was cut by the step
+    /// budget rather than reaching quiescence. Returns a violation
+    /// description for end-of-schedule invariants (e.g. termination —
+    /// a quiescent network with operations still open means some op can
+    /// never complete; only checkable when `!bounded`).
+    fn finish(&mut self, bounded: bool) -> Option<String>;
+}
+
+/// Exploration bounds and toggles.
+#[derive(Clone, Debug)]
+pub struct ExplorerConfig {
+    /// Fork on every enabled event for the first `branch_depth` events of
+    /// a schedule; beyond that, follow the first candidate only. Bounds
+    /// the tree width without cutting schedules short.
+    pub branch_depth: usize,
+    /// Hard cap on events per schedule (guards non-terminating runs).
+    pub max_steps: usize,
+    /// Stop exploring after this many complete schedules.
+    pub max_schedules: u64,
+    /// Enable sleep-set pruning. Sound for deterministic automata over
+    /// FIFO channels; disable to count the raw schedule tree.
+    pub prune: bool,
+    /// Abandon the remaining tree at the first violation.
+    pub stop_on_violation: bool,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        Self {
+            branch_depth: 5,
+            max_steps: 5_000,
+            max_schedules: 20_000,
+            prune: true,
+            stop_on_violation: false,
+        }
+    }
+}
+
+/// Counters accumulated over one [`explore`] call.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Complete schedules executed (to quiescence, the step cap, or a
+    /// violation).
+    pub schedules: u64,
+    /// Branches abandoned because every enabled event was sleeping — each
+    /// stands for a subtree equivalent to one already explored.
+    pub pruned: u64,
+    /// Total `step` calls, including prefix replays.
+    pub transitions: u64,
+    /// Longest schedule seen.
+    pub max_depth: usize,
+    /// Whether the `max_schedules` cap cut the exploration short.
+    pub hit_schedule_cap: bool,
+}
+
+/// A schedule that broke an invariant: the exact `EventKey` sequence from
+/// the scenario's fork point up to and including the violating event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The violating schedule (replay with [`replay`]).
+    pub schedule: Vec<EventKey>,
+    /// Human-readable description of the broken invariant.
+    pub description: String,
+}
+
+/// Everything [`explore`] found.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Exploration counters.
+    pub stats: ExploreStats,
+    /// Violations in discovery order (empty on a clean sweep).
+    pub violations: Vec<Violation>,
+}
+
+/// Destination process of an event — the process whose state it mutates.
+fn dest(key: EventKey) -> ProcessId {
+    match key {
+        EventKey::Channel { to, .. } => to,
+        EventKey::Timer { pid, .. } => pid,
+    }
+}
+
+/// Whether two *distinct* enabled events commute: they mutate different
+/// destination processes, so (with per-channel FIFO and deterministic
+/// automata) executing them in either order reaches the same state. Events
+/// with the same destination never commute — the handler order is visible
+/// in that process's state.
+pub fn independent(a: EventKey, b: EventKey) -> bool {
+    a != b && dest(a) != dest(b)
+}
+
+/// One pending DFS branch: a schedule prefix to replay plus the sleep set
+/// it inherited at its fork point.
+struct Branch {
+    prefix: Vec<EventKey>,
+    sleep: Vec<EventKey>,
+}
+
+/// Depth-bounded exhaustive DFS over the scenario's schedule tree.
+///
+/// For the first [`ExplorerConfig::branch_depth`] events of a schedule the
+/// explorer forks on every enabled (non-sleeping) event; beyond the bound
+/// it follows the first candidate in sorted key order. Every transition is
+/// invariant-checked by the scenario; end-of-schedule invariants run via
+/// [`ScenarioRun::finish`].
+pub fn explore<S: Scenario>(scenario: &S, config: &ExplorerConfig) -> ExploreReport {
+    let mut stats = ExploreStats::default();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut stack = vec![Branch { prefix: Vec::new(), sleep: Vec::new() }];
+
+    'branches: while let Some(branch) = stack.pop() {
+        if stats.schedules >= config.max_schedules {
+            stats.hit_schedule_cap = true;
+            break;
+        }
+        let mut run = scenario.start();
+        let mut schedule: Vec<EventKey> = Vec::with_capacity(branch.prefix.len() + 16);
+
+        // Replay the prefix that led to this fork point.
+        for &key in &branch.prefix {
+            stats.transitions += 1;
+            match run.step(key) {
+                StepResult::Ok => schedule.push(key),
+                StepResult::Violation(description) => {
+                    // Possible when a *prefix* already violates but the
+                    // sibling order explored first did not; record it.
+                    schedule.push(key);
+                    stats.schedules += 1;
+                    stats.max_depth = stats.max_depth.max(schedule.len());
+                    violations.push(Violation { schedule, description });
+                    if config.stop_on_violation {
+                        break 'branches;
+                    }
+                    continue 'branches;
+                }
+                StepResult::Infeasible => {
+                    // A previously-enabled key is gone: the scenario is not
+                    // deterministic. Surface loudly instead of silently
+                    // exploring a different tree.
+                    panic!(
+                        "explorer replay diverged at step {} of {:?} — scenario::start is not deterministic",
+                        schedule.len(),
+                        branch.prefix
+                    );
+                }
+            }
+        }
+
+        // Extend to a complete schedule, forking while within the bound.
+        let mut sleep = branch.sleep;
+        loop {
+            let enabled = run.enabled();
+            if enabled.is_empty() {
+                stats.schedules += 1;
+                stats.max_depth = stats.max_depth.max(schedule.len());
+                if let Some(description) = run.finish(false) {
+                    violations.push(Violation { schedule, description });
+                    if config.stop_on_violation {
+                        break 'branches;
+                    }
+                }
+                break;
+            }
+            if schedule.len() >= config.max_steps {
+                stats.schedules += 1;
+                stats.max_depth = stats.max_depth.max(schedule.len());
+                if let Some(description) = run.finish(true) {
+                    violations.push(Violation { schedule, description });
+                    if config.stop_on_violation {
+                        break 'branches;
+                    }
+                }
+                break;
+            }
+            let candidates: Vec<EventKey> = if config.prune {
+                enabled.iter().copied().filter(|k| !sleep.contains(k)).collect()
+            } else {
+                enabled
+            };
+            let Some(&first) = candidates.first() else {
+                // Every enabled event sleeps: this subtree is a reordering
+                // of one already explored.
+                stats.pruned += 1;
+                break;
+            };
+            if schedule.len() < config.branch_depth {
+                // Push siblings deepest-priority-last so candidates[1] is
+                // explored next. Sibling i sleeps on everything the node
+                // already slept on plus the siblings explored before it,
+                // filtered to what stays independent of i's first move.
+                for i in (1..candidates.len()).rev() {
+                    let ci = candidates[i];
+                    let alt_sleep: Vec<EventKey> = if config.prune {
+                        sleep
+                            .iter()
+                            .chain(candidates[..i].iter())
+                            .copied()
+                            .filter(|&z| independent(z, ci))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    let mut prefix = schedule.clone();
+                    prefix.push(ci);
+                    stack.push(Branch { prefix, sleep: alt_sleep });
+                }
+            }
+            if config.prune {
+                sleep.retain(|&z| independent(z, first));
+            }
+            stats.transitions += 1;
+            match run.step(first) {
+                StepResult::Ok => schedule.push(first),
+                StepResult::Violation(description) => {
+                    schedule.push(first);
+                    stats.schedules += 1;
+                    stats.max_depth = stats.max_depth.max(schedule.len());
+                    violations.push(Violation { schedule, description });
+                    if config.stop_on_violation {
+                        break 'branches;
+                    }
+                    break;
+                }
+                StepResult::Infeasible => {
+                    panic!(
+                        "enabled key {first:?} refused to step — substrate and scenario disagree"
+                    );
+                }
+            }
+        }
+    }
+
+    ExploreReport { stats, violations }
+}
+
+/// Outcome of replaying a schedule against a fresh run of a scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// Event `at` (0-based) broke an invariant.
+    Violation {
+        /// Index of the violating event in the schedule.
+        at: usize,
+        /// Description of the broken invariant.
+        description: String,
+    },
+    /// Every event executed without violation.
+    Clean {
+        /// Number of events executed.
+        steps: usize,
+    },
+    /// Event `at` was not enabled — the schedule does not fit this
+    /// scenario state.
+    Infeasible {
+        /// Index of the infeasible event.
+        at: usize,
+        /// The key that failed to step.
+        key: EventKey,
+    },
+}
+
+/// Replay `schedule` verbatim against a fresh run of `scenario`.
+pub fn replay<S: Scenario>(scenario: &S, schedule: &[EventKey]) -> ReplayOutcome {
+    let mut run = scenario.start();
+    for (at, &key) in schedule.iter().enumerate() {
+        match run.step(key) {
+            StepResult::Ok => {}
+            StepResult::Violation(description) => {
+                return ReplayOutcome::Violation { at, description }
+            }
+            StepResult::Infeasible => return ReplayOutcome::Infeasible { at, key },
+        }
+    }
+    ReplayOutcome::Clean { steps: schedule.len() }
+}
+
+/// Shrink a violating schedule to a 1-minimal one: repeatedly try removing
+/// each event; a candidate that still violates (anywhere — the violation
+/// may move earlier) replaces the current schedule, truncated at its
+/// violating event. Terminates because length strictly decreases; the
+/// result violates on replay and no single further removal keeps it
+/// violating. `O(n²)` replays in the worst case, on schedules that are
+/// typically tens of events.
+pub fn shrink<S: Scenario>(scenario: &S, violation: &Violation) -> Violation {
+    let mut current = violation.schedule.clone();
+    let mut description = violation.description.clone();
+    'outer: loop {
+        for i in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if let ReplayOutcome::Violation { at, description: d } = replay(scenario, &candidate) {
+                candidate.truncate(at + 1);
+                current = candidate;
+                description = d;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Violation { schedule: current, description }
+}
+
+/// A parsed counterexample trace file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceFile {
+    /// Name of the scenario the schedule belongs to.
+    pub scenario: String,
+    /// Description of the violation the schedule triggers.
+    pub violation: String,
+    /// The event schedule.
+    pub schedule: Vec<EventKey>,
+}
+
+/// Pid serialization: the environment pseudo-process is spelled `env`.
+fn pid_str(pid: ProcessId) -> String {
+    if pid == ENV {
+        "env".into()
+    } else {
+        pid.to_string()
+    }
+}
+
+fn parse_pid(s: &str) -> Result<ProcessId, String> {
+    if s == "env" {
+        Ok(ENV)
+    } else {
+        s.parse().map_err(|_| format!("bad process id {s:?}"))
+    }
+}
+
+/// Serialize a found-and-shrunk counterexample as a replayable trace file.
+/// The format is line-oriented plain text (one `event` line per schedule
+/// entry) so a trace diff reads as a schedule diff.
+pub fn format_trace(scenario: &str, violation: &Violation) -> String {
+    let mut out = String::new();
+    out.push_str("# sbft explorer counterexample trace\n");
+    out.push_str(&format!("scenario {scenario}\n"));
+    out.push_str(&format!("violation {}\n", violation.description.replace('\n', " ")));
+    for &key in &violation.schedule {
+        match key {
+            EventKey::Channel { from, to } => {
+                out.push_str(&format!("event channel {} {}\n", pid_str(from), pid_str(to)));
+            }
+            EventKey::Timer { pid, id } => {
+                out.push_str(&format!("event timer {} {}\n", pid_str(pid), id));
+            }
+        }
+    }
+    out
+}
+
+/// Parse a trace file produced by [`format_trace`].
+pub fn parse_trace(text: &str) -> Result<TraceFile, String> {
+    let mut scenario = None;
+    let mut violation = String::new();
+    let mut schedule = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("scenario ") {
+            scenario = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("violation ") {
+            violation = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("event ") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let key = match parts.as_slice() {
+                ["channel", from, to] => EventKey::Channel {
+                    from: parse_pid(from).map_err(|e| err(&e))?,
+                    to: parse_pid(to).map_err(|e| err(&e))?,
+                },
+                ["timer", pid, id] => EventKey::Timer {
+                    pid: parse_pid(pid).map_err(|e| err(&e))?,
+                    id: id.parse().map_err(|_| err("bad timer id"))?,
+                },
+                _ => return Err(err("unknown event form")),
+            };
+            schedule.push(key);
+        } else {
+            return Err(err("unknown directive"));
+        }
+    }
+    let scenario = scenario.ok_or("missing `scenario` line".to_string())?;
+    Ok(TraceFile { scenario, violation, schedule })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic toy system: three messages in flight to three
+    /// distinct processes, plus one follow-up unlocked by the first. A
+    /// violation triggers iff process 2's message is delivered before
+    /// process 1's.
+    struct Toy;
+
+    struct ToyRun {
+        delivered: Vec<EventKey>,
+        pending: Vec<EventKey>,
+    }
+
+    fn chan(from: ProcessId, to: ProcessId) -> EventKey {
+        EventKey::Channel { from, to }
+    }
+
+    impl Scenario for Toy {
+        type Run = ToyRun;
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn start(&self) -> ToyRun {
+            ToyRun { delivered: Vec::new(), pending: vec![chan(0, 1), chan(0, 2), chan(0, 3)] }
+        }
+    }
+
+    impl ScenarioRun for ToyRun {
+        fn enabled(&self) -> Vec<EventKey> {
+            let mut v = self.pending.clone();
+            v.sort_unstable();
+            v
+        }
+        fn step(&mut self, key: EventKey) -> StepResult {
+            let Some(i) = self.pending.iter().position(|&k| k == key) else {
+                return StepResult::Infeasible;
+            };
+            self.pending.remove(i);
+            if key == chan(0, 1) {
+                self.pending.push(chan(1, 3)); // follow-up hop
+            }
+            self.delivered.push(key);
+            let d2 = self.delivered.iter().position(|&k| k == chan(0, 2));
+            let d1 = self.delivered.iter().position(|&k| k == chan(0, 1));
+            match (d1, d2) {
+                (None, Some(_)) => StepResult::Violation("2 before 1".into()),
+                _ => StepResult::Ok,
+            }
+        }
+        fn finish(&mut self, _bounded: bool) -> Option<String> {
+            (!self.pending.is_empty()).then(|| "pending left".into())
+        }
+    }
+
+    fn cfg(prune: bool) -> ExplorerConfig {
+        ExplorerConfig { branch_depth: 16, prune, stop_on_violation: false, ..Default::default() }
+    }
+
+    #[test]
+    fn unpruned_exploration_counts_the_full_tree() {
+        let report = explore(&Toy, &cfg(false));
+        // Orders of {1,2,3,then 1→3}: schedules that deliver 2 first stop
+        // immediately (violation), so the tree is smaller than 4!; the
+        // exact count just needs to be stable and every 2-before-1 order
+        // must be caught.
+        assert!(report.stats.schedules > 4, "{:?}", report.stats);
+        assert!(!report.violations.is_empty());
+        assert!(report.violations.iter().all(|v| v.description == "2 before 1"));
+        // Deterministic: same config, same result.
+        let again = explore(&Toy, &cfg(false));
+        assert_eq!(report.stats, again.stats);
+        assert_eq!(report.violations, again.violations);
+    }
+
+    #[test]
+    fn pruning_preserves_the_violation_set_shape() {
+        let full = explore(&Toy, &cfg(false));
+        let pruned = explore(&Toy, &cfg(true));
+        assert!(pruned.stats.schedules < full.stats.schedules, "sleep sets must prune");
+        assert!(pruned.stats.pruned > 0);
+        // Every distinct violation description survives pruning.
+        assert!(!pruned.violations.is_empty());
+        assert!(pruned.violations.iter().all(|v| v.description == "2 before 1"));
+    }
+
+    #[test]
+    fn shrink_reaches_the_minimal_counterexample() {
+        let report = explore(&Toy, &cfg(true));
+        let v = report.violations.first().expect("toy violates");
+        let min = shrink(&Toy, v);
+        // Minimal: deliver (0,2) alone.
+        assert_eq!(min.schedule, vec![chan(0, 2)]);
+        assert_eq!(min.description, "2 before 1");
+        assert_eq!(
+            replay(&Toy, &min.schedule),
+            ReplayOutcome::Violation { at: 0, description: "2 before 1".into() }
+        );
+    }
+
+    #[test]
+    fn trace_round_trips() {
+        let v = Violation {
+            schedule: vec![chan(ENV, 0), chan(0, 2), EventKey::Timer { pid: 3, id: 42 }],
+            description: "something\nbroke".into(),
+        };
+        let text = format_trace("toy", &v);
+        let parsed = parse_trace(&text).expect("round trip");
+        assert_eq!(parsed.scenario, "toy");
+        assert_eq!(parsed.violation, "something broke");
+        assert_eq!(parsed.schedule, v.schedule);
+        assert!(parse_trace("event warp 1 2\n").is_err());
+        assert!(parse_trace("").is_err(), "missing scenario line");
+    }
+
+    #[test]
+    fn step_cap_cuts_schedules_and_flags_bounded_finish() {
+        let config = ExplorerConfig { max_steps: 1, branch_depth: 0, ..Default::default() };
+        let report = explore(&Toy, &config);
+        assert_eq!(report.stats.schedules, 1, "branch_depth 0 follows one schedule");
+        assert_eq!(report.stats.max_depth, 1);
+        // finish(bounded=true) in the toy still reports pending events.
+        assert_eq!(report.violations.len(), 1);
+    }
+}

@@ -49,6 +49,6 @@ pub use nemesis::{
     AutomatonFactory, LinkFault, NemesisEvent, NemesisOpts, NemesisRunner, NemesisSchedule,
 };
 pub use process::{Automaton, Ctx, ProcessId, ENV};
-pub use sim::{SimConfig, SimEvent, Simulation};
+pub use sim::{EventKey, SimConfig, SimEvent, Simulation};
 pub use substrate::{AnySubstrate, Backend, Pumped, Substrate, SubstrateConfig};
 pub use threaded::ThreadedCluster;

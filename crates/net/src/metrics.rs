@@ -28,12 +28,13 @@ pub struct LatencyHistogram {
     buckets: [u64; HIST_BUCKETS],
     count: u64,
     sum: u64,
+    min: u64,
     max: u64,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
-        Self { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, max: 0 }
+        Self { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
     }
 }
 
@@ -50,6 +51,7 @@ impl LatencyHistogram {
         self.buckets[idx.min(HIST_BUCKETS - 1)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(sample);
+        self.min = self.min.min(sample);
         self.max = self.max.max(sample);
     }
 
@@ -67,27 +69,56 @@ impl LatencyHistogram {
         }
     }
 
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
     /// Largest recorded sample.
     pub fn max(&self) -> u64 {
         self.max
     }
 
-    /// Upper bound of the bucket containing the `p`-th percentile
-    /// (`0.0 < p <= 100.0`); 0 when empty. The true sample is within 2× of
-    /// the returned value (and never above `max`).
+    /// Upper bound of the bucket containing the `p`-th percentile; the true
+    /// sample is within 2× of the returned value and never above `max`.
+    ///
+    /// Edge-case contract (each of these was previously unspecified or
+    /// wrong):
+    /// * an **empty** histogram returns 0 for every `p` — no rank exists,
+    ///   and 0 is the conventional "no data" value used by the E15 reports;
+    /// * `p <= 0` returns the **exact minimum** sample (the nearest-rank
+    ///   definition's 0th percentile *is* the minimum, so we report it
+    ///   exactly rather than a bucket bound);
+    /// * `p >= 100` returns the exact maximum (out-of-range `p` clamps to
+    ///   the `[0, 100]` domain, and float rounding such as
+    ///   `(100.0 / 100.0) * count` ceiling past `count` can no longer
+    ///   overshoot the last occupied bucket).
     pub fn percentile(&self, p: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if p <= 0.0 {
+            return self.min;
+        }
+        if p >= 100.0 {
+            return self.max;
+        }
+        // Nearest-rank: the ceil of p% of the count, clamped into
+        // [1, count] so float rounding can never produce rank 0 or
+        // rank count+1 (which would fall off the occupied buckets).
+        let rank = (((p / 100.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
                 // Bucket i spans [2^i, 2^(i+1)); report the upper bound,
-                // clamped to the observed maximum.
+                // clamped to the observed extremes.
                 let upper = if i + 1 >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
-                return upper.min(self.max);
+                return upper.min(self.max).max(self.min);
             }
         }
         self.max
@@ -100,6 +131,7 @@ impl LatencyHistogram {
         }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
 }
@@ -224,6 +256,63 @@ mod tests {
         assert_eq!(a.count(), 5);
         assert_eq!(a.max(), 2048);
         assert!(a.percentile(100.0) >= 1024);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero_at_every_percentile() {
+        let h = LatencyHistogram::new();
+        for p in [0.0, 50.0, 100.0, -5.0, 250.0] {
+            assert_eq!(h.percentile(p), 0, "empty histogram at p = {p}");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn histogram_single_sample_is_exact_at_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(777);
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(h.percentile(p), 777, "single sample at p = {p}");
+        }
+        assert_eq!(h.min(), 777);
+        assert_eq!(h.max(), 777);
+    }
+
+    #[test]
+    fn histogram_p0_is_min_and_p100_is_max() {
+        let mut h = LatencyHistogram::new();
+        for s in [3u64, 90, 1000, 65_000] {
+            h.record(s);
+        }
+        assert_eq!(h.percentile(0.0), 3, "p0 is the exact minimum");
+        assert_eq!(h.percentile(100.0), 65_000, "p100 is the exact maximum");
+        // Out-of-range percentiles clamp to the [0, 100] domain.
+        assert_eq!(h.percentile(-10.0), h.percentile(0.0));
+        assert_eq!(h.percentile(1000.0), h.percentile(100.0));
+    }
+
+    #[test]
+    fn histogram_merged_percentiles_cover_both_sources() {
+        let (mut a, mut b) = (LatencyHistogram::new(), LatencyHistogram::new());
+        for s in [2u64, 3, 5] {
+            a.record(s);
+        }
+        for s in [4096u64, 8192, 10_000] {
+            b.record(s);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.percentile(0.0), 2, "merge keeps the global minimum");
+        assert_eq!(a.percentile(100.0), 10_000, "merge keeps the global maximum");
+        // p50 (rank 3) still lies in the low source's range...
+        assert!(a.percentile(50.0) <= 7, "p50 = {}", a.percentile(50.0));
+        // ...and p90 (rank 6) in the high source's range.
+        assert!(a.percentile(90.0) >= 8192, "p90 = {}", a.percentile(90.0));
+        // Merging an empty histogram changes nothing.
+        let snapshot = a.percentile(0.0);
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.percentile(0.0), snapshot);
     }
 
     #[test]

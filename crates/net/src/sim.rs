@@ -81,6 +81,34 @@ impl<M> Ord for Queued<M> {
     }
 }
 
+/// Identity of an *enabled* event class, as enumerated by
+/// [`Simulation::enabled_events`] and consumed by [`Simulation::step_key`].
+///
+/// A schedule explorer forks on these keys rather than on raw queue entries:
+/// a `Channel` key stands for "deliver the FIFO head of the `(from, to)`
+/// channel next" and a `Timer` key for "fire this pending timer next". The
+/// key deliberately omits the queued delivery *time* — an asynchronous
+/// adversary may reorder deliveries across channels arbitrarily, and tying
+/// the identity to stable `(src, dst)` pairs is what lets a replayed key
+/// sequence mean the same thing in every interleaving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKey {
+    /// Deliver the earliest in-flight message on the directed channel.
+    Channel {
+        /// Sending process (may be [`ENV`]).
+        from: ProcessId,
+        /// Receiving process.
+        to: ProcessId,
+    },
+    /// Fire the pending timer `id` armed by `pid`'s current incarnation.
+    Timer {
+        /// Process that armed the timer.
+        pid: ProcessId,
+        /// Timer id as passed to `Ctx::set_timer`.
+        id: u64,
+    },
+}
+
 /// Record of one processed event, as returned by [`Simulation::step`].
 #[derive(Clone, Debug)]
 pub struct SimEvent<O> {
@@ -422,6 +450,99 @@ where
         }
     }
 
+    /// Enumerate the distinct [`EventKey`]s that are currently *enabled*:
+    /// every directed channel with at least one in-flight delivery to a
+    /// live process, and every pending timer armed by the current
+    /// incarnation of a live process. Dead queue entries (deliveries to
+    /// crashed processes, timers of superseded incarnations) are excluded —
+    /// they can never cause a state change, so an explorer should neither
+    /// fork on them nor wait for them. The result is sorted and deduplicated
+    /// so identical simulator states always report identical key lists.
+    pub fn enabled_events(&self) -> Vec<EventKey> {
+        if self.halted {
+            return Vec::new();
+        }
+        let mut keys: Vec<EventKey> = Vec::new();
+        for q in self.queue.iter() {
+            match &q.kind {
+                EventKind::Deliver { from, to, .. } => {
+                    if !self.crashed[*to] {
+                        keys.push(EventKey::Channel { from: *from, to: *to });
+                    }
+                }
+                EventKind::Timer { pid, id, incarnation } => {
+                    if !self.crashed[*pid] && *incarnation == self.incarnation[*pid] {
+                        keys.push(EventKey::Timer { pid: *pid, id: *id });
+                    }
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Process the earliest queued event matching `key`, regardless of any
+    /// earlier events on *other* channels — the step-by-key API a schedule
+    /// explorer uses to realize an arbitrary interleaving.
+    ///
+    /// Unlike [`Simulation::step`], virtual time here is *logical*: it
+    /// advances to `max(now + 1, event's scheduled time)` so time stays
+    /// strictly monotone even when the chosen event was queued "in the
+    /// past" relative to an already-executed later one. Within a single
+    /// channel FIFO order is preserved (the earliest `(time, seq)` match is
+    /// always taken), which is exactly the asynchronous-network guarantee
+    /// the protocol assumes. Returns `None` when no live queue entry
+    /// matches `key` (i.e. `key` is not in [`Simulation::enabled_events`]).
+    pub fn step_key(&mut self, key: EventKey) -> Option<SimEvent<O>> {
+        if self.halted {
+            return None;
+        }
+        self.start();
+        let mut entries = std::mem::take(&mut self.queue).into_vec();
+        let mut best: Option<usize> = None;
+        for (i, q) in entries.iter().enumerate() {
+            let matches = match (&q.kind, key) {
+                (EventKind::Deliver { from, to, .. }, EventKey::Channel { from: kf, to: kt }) => {
+                    *from == kf && *to == kt && !self.crashed[*to]
+                }
+                (
+                    EventKind::Timer { pid, id, incarnation },
+                    EventKey::Timer { pid: kp, id: ki },
+                ) => {
+                    *pid == kp
+                        && *id == ki
+                        && !self.crashed[*pid]
+                        && *incarnation == self.incarnation[*pid]
+                }
+                _ => false,
+            };
+            if matches && best.is_none_or(|b| (q.time, q.seq) < (entries[b].time, entries[b].seq)) {
+                best = Some(i);
+            }
+        }
+        let Some(idx) = best else {
+            self.queue = BinaryHeap::from(entries);
+            return None;
+        };
+        let ev = entries.swap_remove(idx);
+        self.queue = BinaryHeap::from(entries);
+        self.now = (self.now + 1).max(ev.time);
+        self.metrics.record_event();
+        match ev.kind {
+            EventKind::Deliver { from, to, msg } => {
+                self.metrics.record_delivery(from, to);
+                self.trace.record(self.now, from, to, || format!("{msg:?}"));
+                let outputs = self.dispatch(to, move |auto, ctx| auto.on_message(from, msg, ctx));
+                Some(SimEvent { time: self.now, pid: to, outputs })
+            }
+            EventKind::Timer { pid, id, .. } => {
+                let outputs = self.dispatch(pid, move |auto, ctx| auto.on_timer(id, ctx));
+                Some(SimEvent { time: self.now, pid, outputs })
+            }
+        }
+    }
+
     /// Run until the queue drains or `max_events` were processed; returns
     /// all outputs as `(time, pid, output)` triples.
     pub fn run_until_quiet(&mut self, max_events: u64) -> Vec<(u64, ProcessId, O)> {
@@ -649,6 +770,119 @@ mod tests {
         sim.inject(0, 2); // 0 -> 1 (clean), 1 -> 0 (duplicated), msg 0 at 0 twice
         let out = sim.run_until_quiet(1_000);
         assert_eq!(out.len(), 2, "duplicate of the final hop triggers a second output");
+    }
+
+    #[test]
+    fn enabled_events_list_channel_heads_and_step_key_consumes_them() {
+        let mut sim = two_pingpong(3);
+        sim.inject(0, 3);
+        assert_eq!(sim.enabled_events(), vec![EventKey::Channel { from: ENV, to: 0 }]);
+        let ev = sim.step_key(EventKey::Channel { from: ENV, to: 0 }).expect("enabled");
+        assert_eq!(ev.pid, 0);
+        // 0 forwarded the countdown to 1; the env channel is now empty.
+        assert_eq!(sim.enabled_events(), vec![EventKey::Channel { from: 0, to: 1 }]);
+        // Stepping a key that is not enabled is a no-op returning None.
+        assert!(sim.step_key(EventKey::Channel { from: ENV, to: 0 }).is_none());
+        assert_eq!(sim.enabled_events(), vec![EventKey::Channel { from: 0, to: 1 }]);
+    }
+
+    #[test]
+    fn step_key_preserves_per_channel_fifo_order() {
+        struct Collect(Vec<u32>);
+        impl Automaton<u32, u32> for Collect {
+            fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut Ctx<'_, u32, u32>) {
+                self.0.push(msg);
+                ctx.output(msg);
+            }
+        }
+        let mut sim: Simulation<u32, u32> =
+            Simulation::new(SimConfig::seeded(4).with_delay(DelayModel::uniform(1, 40)));
+        sim.add_process(Box::new(Collect(Vec::new())));
+        for i in 0..5 {
+            sim.inject(0, i);
+        }
+        let mut seen = Vec::new();
+        while let Some(ev) = sim.step_key(EventKey::Channel { from: ENV, to: 0 }) {
+            seen.extend(ev.outputs);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4], "step_key must take channel heads in FIFO order");
+        assert!(sim.enabled_events().is_empty());
+    }
+
+    #[test]
+    fn enabled_events_exclude_crashed_and_stale() {
+        let mut sim = two_pingpong(5);
+        sim.inject(1, 4);
+        sim.crash(1);
+        assert!(sim.enabled_events().is_empty(), "deliveries to a crashed pid are dead");
+        // Stale timers (armed by a superseded incarnation) are dead too.
+        struct Armed;
+        impl Automaton<u32, u32> for Armed {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32, u32>) {
+                ctx.set_timer(10, 1);
+            }
+            fn on_message(&mut self, _: ProcessId, _: u32, _: &mut Ctx<'_, u32, u32>) {}
+        }
+        struct Inert;
+        impl Automaton<u32, u32> for Inert {
+            fn on_message(&mut self, _: ProcessId, _: u32, _: &mut Ctx<'_, u32, u32>) {}
+        }
+        let mut sim: Simulation<u32, u32> = Simulation::new(SimConfig::seeded(0));
+        sim.add_process(Box::new(Armed));
+        sim.start();
+        assert_eq!(sim.enabled_events(), vec![EventKey::Timer { pid: 0, id: 1 }]);
+        sim.restart(0, Box::new(Inert));
+        assert!(sim.enabled_events().is_empty());
+        assert!(sim.step_key(EventKey::Timer { pid: 0, id: 1 }).is_none());
+    }
+
+    #[test]
+    fn step_key_keeps_time_monotone_across_out_of_order_picks() {
+        // Two independent channels; pick the later-scheduled head first.
+        struct Sink;
+        impl Automaton<u32, u32> for Sink {
+            fn on_message(&mut self, _: ProcessId, msg: u32, ctx: &mut Ctx<'_, u32, u32>) {
+                ctx.output(msg);
+            }
+        }
+        let mut sim: Simulation<u32, u32> =
+            Simulation::new(SimConfig::seeded(7).with_delay(DelayModel::uniform(1, 100)));
+        sim.add_process(Box::new(Sink));
+        sim.add_process(Box::new(Sink));
+        sim.inject(0, 10);
+        sim.inject(1, 20);
+        let t1 = sim.step_key(EventKey::Channel { from: ENV, to: 1 }).expect("enabled").time;
+        let t0 = sim.step_key(EventKey::Channel { from: ENV, to: 0 }).expect("enabled").time;
+        assert!(t0 > t1, "logical time must advance even for an earlier-queued pick");
+        assert!(sim.enabled_events().is_empty());
+    }
+
+    #[test]
+    fn step_key_interleavings_agree_on_unit_delay_outcomes() {
+        // With unit delays no randomness is consumed per delivery, so any
+        // exploration order reaches the same quiescent outcome.
+        let run = |order: &[usize]| {
+            let mut sim: Simulation<u32, u32> =
+                Simulation::new(SimConfig::seeded(1).with_delay(DelayModel::unit()));
+            sim.add_process(Box::new(PingPong));
+            sim.add_process(Box::new(PingPong));
+            sim.inject(0, 4);
+            sim.inject(1, 4);
+            let mut outputs = Vec::new();
+            let mut cursor = 0;
+            loop {
+                let enabled = sim.enabled_events();
+                if enabled.is_empty() {
+                    break;
+                }
+                let pick = enabled[order[cursor % order.len()] % enabled.len()];
+                cursor += 1;
+                outputs.extend(sim.step_key(pick).expect("enabled key steps").outputs);
+            }
+            outputs.sort_unstable();
+            (outputs, sim.metrics().messages_delivered, sim.metrics().messages_sent)
+        };
+        assert_eq!(run(&[0]), run(&[1, 0, 1]), "schedule choice must not change outcomes");
     }
 
     #[test]

@@ -283,6 +283,11 @@ where
                     let _ = self.peers[to].send(Ctl::Msg { from: self.pid, msg });
                 }
                 Some(f) => {
+                    // The message was handed to the (faulty) channel, so it
+                    // counts as sent no matter what the fault does to it —
+                    // the sim backend records the send before consulting the
+                    // link fault, and the backends must agree.
+                    self.metrics.record_send(self.pid);
                     if f.drop_rate > 0.0 && self.rng.gen_bool(f.drop_rate.min(1.0)) {
                         self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
                         continue;
@@ -294,11 +299,10 @@ where
                         let units = f.extra_delay.min(100) as u32;
                         std::thread::sleep(self.tick.saturating_mul(units));
                     }
-                    self.metrics.record_send(self.pid);
-                    let dup = f.dup_rate > 0.0 && self.rng.gen_bool(f.dup_rate.min(1.0));
-                    if dup {
+                    // A duplicate is one send delivered twice (the channel
+                    // replays it); only the deliveries tally twice.
+                    if f.dup_rate > 0.0 && self.rng.gen_bool(f.dup_rate.min(1.0)) {
                         let _ = self.peers[to].send(Ctl::Msg { from: self.pid, msg: msg.clone() });
-                        self.metrics.record_send(self.pid);
                     }
                     let _ = self.peers[to].send(Ctl::Msg { from: self.pid, msg });
                 }

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use sbft::datalink::DatalinkSim;
 use sbft::labels::{BoundedLabeling, MwmrLabeling};
 use sbft::net::{
-    AnySubstrate, Automaton, AutomatonFactory, Backend, Ctx, NemesisOpts, NemesisRunner,
+    AnySubstrate, Automaton, AutomatonFactory, Backend, Ctx, LinkFault, NemesisOpts, NemesisRunner,
     NemesisSchedule, ProcessId, Substrate, SubstrateConfig, ThreadedCluster, ENV,
 };
 use sbft::register::adversary::random_message;
@@ -302,6 +302,81 @@ proptest! {
         prop_assert_eq!(a.0, b.0, "nemesis event sequences diverged");
         prop_assert_eq!(a.1, b.1, "op outcome sequences diverged");
         prop_assert_eq!((a.2, a.3), (b.2, b.3), "final read / clock diverged");
+    }
+}
+
+/// On an ENV kick carrying `n`, fires `n` sequenced messages at the sink
+/// on pid 0 (the possibly-faulted channel), then one completion marker at
+/// the sink on pid 1 (always clean) — so the marker's arrival proves the
+/// sender finished routing the whole volley, drops included.
+struct Volley;
+
+impl Automaton<u64, (ProcessId, u64)> for Volley {
+    fn on_message(&mut self, from: ProcessId, msg: u64, ctx: &mut Ctx<'_, u64, (ProcessId, u64)>) {
+        if from == ENV {
+            for seq in 0..msg {
+                ctx.send(0, seq);
+            }
+            ctx.send(1, u64::MAX);
+        }
+    }
+}
+
+/// Run a `volley`-message burst over the faulted channel `(2, 0)` and
+/// return `(sent, delivered, dropped)` plus the sink-0 delivery count.
+fn fault_cell(
+    backend: Backend,
+    fault: LinkFault,
+    volley: u64,
+    expect_sink: u64,
+) -> (u64, u64, u64, u64) {
+    let procs: Vec<Box<dyn Automaton<u64, (ProcessId, u64)>>> =
+        vec![Box::new(Sink), Box::new(Sink), Box::new(Volley)];
+    let mut sub = AnySubstrate::spawn(backend, procs, &SubstrateConfig::seeded(9));
+    sub.set_link_fault(2, 0, Some(fault));
+    sub.inject(2, volley);
+    let mut sink0 = 0u64;
+    let mut marker = false;
+    sub.pump_until(u64::MAX, 200, &mut |_t, pid, (_from, _seq)| {
+        if pid == 0 {
+            sink0 += 1;
+        } else {
+            marker = true;
+        }
+        (marker && sink0 >= expect_sink).then_some(())
+    });
+    let m = sub.metrics_snapshot();
+    sub.stop();
+    (m.messages_sent, m.messages_delivered, m.messages_dropped, sink0)
+}
+
+/// Link-fault accounting parity: a dropped message still counts as sent, a
+/// duplicate is one send with two deliveries, and a delayed message is one
+/// send with one delivery — identically on the simulator and on threads.
+/// Fault rates of 0.0/1.0 make the cells deterministic even though the two
+/// backends consume different RNG streams.
+#[test]
+fn link_fault_accounting_agrees_across_substrates() {
+    let volley = 10u64;
+    // (cell, fault, expected sink-0 deliveries)
+    let cells = [
+        ("drop", LinkFault::flaky(1.0, 0.0, 0), 0),
+        ("dup", LinkFault::flaky(0.0, 1.0, 0), 2 * volley),
+        ("delay", LinkFault::flaky(0.0, 0.0, 3), volley),
+    ];
+    for (name, fault, expect_sink) in cells {
+        let sim = fault_cell(Backend::Sim, fault, volley, expect_sink);
+        let thr = fault_cell(Backend::Threaded, fault, volley, expect_sink);
+        assert_eq!(sim, thr, "{name}: (sent, delivered, dropped, sink) diverged across backends");
+        // And both match the accounting contract in absolute terms: every
+        // send is one of the ENV kick, the volley, or the marker.
+        let (sent, delivered, dropped, sink0) = sim;
+        assert_eq!(sent, volley + 2, "{name}: drops and dups must not distort the send count");
+        assert_eq!(sink0, expect_sink, "{name}");
+        // Delivered covers the ENV kick, the marker, and the surviving
+        // volley (twice for duplicates); drops are counted separately.
+        assert_eq!(delivered, expect_sink + 2, "{name}");
+        assert_eq!(dropped, if name == "drop" { volley } else { 0 }, "{name}");
     }
 }
 
