@@ -248,9 +248,15 @@ where
                         }
                     }
                     sbft_net::Pumped::Idle => {
-                        idle += 1;
-                        if idle >= MAX_IDLE_PUMPS {
-                            break;
+                        // While arrivals remain, an idle window is normal
+                        // pacing (threads waiting for the next arrival),
+                        // not a wedge — only give up once the last arrival
+                        // is in and nothing completes.
+                        if issued >= spec.total_ops {
+                            idle += 1;
+                            if idle >= MAX_IDLE_PUMPS {
+                                break;
+                            }
                         }
                     }
                     sbft_net::Pumped::Quiescent => {
@@ -270,13 +276,22 @@ where
     (ops_ok, ops_failed, rejected, latency, sub.now().saturating_sub(start_ticks))
 }
 
+/// Arrival-paced pump window for threaded open-loop cells: one pump may
+/// block at most about one arrival interval (the default 100 µs tick times
+/// `interval` ticks), so arrivals are injected on schedule instead of
+/// stalling behind the default 100 ms pump timeout.
+fn open_loop_pump_timeout(interval: u64) -> std::time::Duration {
+    std::time::Duration::from_micros(100).saturating_mul(interval.clamp(1, 10_000) as u32)
+}
+
 /// Run the register workload on `backend` under `spec`.
 pub fn run_register_cell(backend: Backend, spec: &LoadSpec) -> LoadCell {
-    let mut c = RegisterCluster::bounded(1)
-        .clients(spec.clients)
-        .seed(spec.seed)
-        .backend(backend)
-        .build_any();
+    let mut builder =
+        RegisterCluster::bounded(1).clients(spec.clients).seed(spec.seed).backend(backend);
+    if let (Backend::Threaded, LoadMode::Open { interval }) = (backend, spec.mode) {
+        builder = builder.pump_timeout(open_loop_pump_timeout(interval));
+    }
+    let mut c = builder.build_any();
     let clients: Vec<ProcessId> = (0..spec.clients).map(|i| c.client(i)).collect();
     let spec_c = *spec;
     let mut mk = move |i: usize, seq: u64| -> Msg<Ts<B>> {
@@ -298,8 +313,11 @@ pub fn run_register_cell(backend: Backend, spec: &LoadSpec) -> LoadCell {
 
 /// Run the keyed-store workload on `backend` under `spec`.
 pub fn run_kv_cell(backend: Backend, spec: &LoadSpec) -> LoadCell {
-    let mut c =
-        KvCluster::bounded(1).clients(spec.clients).seed(spec.seed).backend(backend).build_any();
+    let mut builder = KvCluster::bounded(1).clients(spec.clients).seed(spec.seed).backend(backend);
+    if let (Backend::Threaded, LoadMode::Open { interval }) = (backend, spec.mode) {
+        builder = builder.pump_timeout(open_loop_pump_timeout(interval));
+    }
+    let mut c = builder.build_any();
     let clients: Vec<ProcessId> = (0..spec.clients).map(|i| c.client(i)).collect();
     let spec_c = *spec;
     let mut mk = move |i: usize, seq: u64| -> KvMsg<Ts<B>> {
@@ -356,21 +374,22 @@ fn finish_cell(
     }
 }
 
-/// Run the full E15 grid: {register, kv} × {sim, threaded} closed-loop at
-/// `clients` concurrency, plus an open-loop saturation row per workload on
-/// the simulator.
+/// Run the full E15 grid: {register, kv} × {sim, threaded} × {closed,
+/// open} at `clients` concurrency. Every cell runs the *same* `ops` count
+/// on both backends, so the sim-vs-threaded columns are apples-to-apples.
 pub fn run_cells(clients: usize, ops: u64, seed: u64) -> Vec<LoadCell> {
+    let n = ops.max(20);
     let mut cells = Vec::new();
     for backend in [Backend::Sim, Backend::Threaded] {
-        // Threaded ops cost real wall-clock; scale them down.
-        let n = if backend == Backend::Threaded { ops / 4 } else { ops }.max(20);
         let spec = LoadSpec::closed(clients, n, seed);
         cells.push(run_register_cell(backend, &spec));
         cells.push(run_kv_cell(backend, &spec));
     }
-    let open = LoadSpec::open(clients, ops.max(20), 30, seed);
-    cells.push(run_register_cell(Backend::Sim, &open));
-    cells.push(run_kv_cell(Backend::Sim, &open));
+    for backend in [Backend::Sim, Backend::Threaded] {
+        let open = LoadSpec::open(clients, n, 30, seed);
+        cells.push(run_register_cell(backend, &open));
+        cells.push(run_kv_cell(backend, &open));
+    }
     cells
 }
 

@@ -145,6 +145,7 @@ pub struct ClusterBuilder<B: LabelingSystem> {
     reader_opts: ReaderOptions,
     retry: RetryPolicy,
     backend: Backend,
+    pump_timeout: Option<std::time::Duration>,
 }
 
 impl<B: LabelingSystem> ClusterBuilder<B> {
@@ -163,6 +164,7 @@ impl<B: LabelingSystem> ClusterBuilder<B> {
             reader_opts: ReaderOptions::default(),
             retry: RetryPolicy::none(),
             backend: Backend::Sim,
+            pump_timeout: None,
         }
     }
 
@@ -240,8 +242,20 @@ impl<B: LabelingSystem> ClusterBuilder<B> {
         self
     }
 
+    /// Longest one threaded `pump` blocks before reporting idle (threaded
+    /// runtime only; default 100 ms). Open-loop drivers that pace arrivals
+    /// between pumps want this close to the arrival interval.
+    pub fn pump_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.pump_timeout = Some(timeout);
+        self
+    }
+
     fn substrate_config(&self) -> SubstrateConfig {
-        SubstrateConfig::seeded(self.seed).with_delay(self.delay).with_trace(self.trace)
+        let cfg = SubstrateConfig::seeded(self.seed).with_delay(self.delay).with_trace(self.trace);
+        match self.pump_timeout {
+            Some(t) => cfg.with_pump_timeout(t),
+            None => cfg,
+        }
     }
 
     /// The automata, in pid order, plus the hostile clients' pids.

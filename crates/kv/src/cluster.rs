@@ -79,6 +79,7 @@ pub struct KvClusterBuilder<B: LabelingSystem> {
     delay: DelayModel,
     retry: RetryPolicy,
     backend: Backend,
+    pump_timeout: Option<std::time::Duration>,
 }
 
 impl<B: LabelingSystem> KvClusterBuilder<B> {
@@ -92,6 +93,7 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
             delay: DelayModel::uniform(1, 10),
             retry: RetryPolicy::none(),
             backend: Backend::Sim,
+            pump_timeout: None,
         }
     }
 
@@ -126,8 +128,20 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
         self
     }
 
+    /// Longest one threaded `pump` blocks before reporting idle (threaded
+    /// runtime only; default 100 ms). Open-loop drivers that pace arrivals
+    /// between pumps want this close to the arrival interval.
+    pub fn pump_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.pump_timeout = Some(timeout);
+        self
+    }
+
     fn substrate_config(&self) -> SubstrateConfig {
-        SubstrateConfig::seeded(self.seed).with_delay(self.delay)
+        let cfg = SubstrateConfig::seeded(self.seed).with_delay(self.delay);
+        match self.pump_timeout {
+            Some(t) => cfg.with_pump_timeout(t),
+            None => cfg,
+        }
     }
 
     fn procs(&self) -> KvProcs<B> {

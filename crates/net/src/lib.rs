@@ -40,6 +40,7 @@ pub mod process;
 pub mod sim;
 pub mod substrate;
 pub mod threaded;
+pub mod timer_wheel;
 pub mod trace;
 
 pub use channel::{DelayModel, Scheduled};
@@ -50,5 +51,6 @@ pub use nemesis::{
 };
 pub use process::{Automaton, Ctx, ProcessId, ENV};
 pub use sim::{EventKey, SimConfig, SimEvent, Simulation};
-pub use substrate::{AnySubstrate, Backend, Pumped, Substrate, SubstrateConfig};
+pub use substrate::{AnySubstrate, Backend, Outputs, Pumped, Substrate, SubstrateConfig};
 pub use threaded::ThreadedCluster;
+pub use timer_wheel::{TimerWheel, TimerWheelThread, WheelId};

@@ -94,9 +94,104 @@ impl SubstrateConfig {
         self
     }
 
+    /// Replace the threaded pump timeout — the longest one blocking
+    /// [`Substrate::pump`] waits before reporting [`Pumped::Idle`].
+    /// Open-loop drivers that pace injections between pumps want this
+    /// close to their arrival interval.
+    pub fn with_pump_timeout(mut self, timeout: Duration) -> Self {
+        self.pump_timeout = timeout;
+        self
+    }
+
     /// The simulator subset of this config.
     pub fn sim_config(&self) -> SimConfig {
         SimConfig { seed: self.seed, delay: self.delay, trace_capacity: self.trace_capacity }
+    }
+}
+
+/// Outputs carried by one [`Pumped::Event`] without forcing a heap
+/// allocation in the common cases: simulator events usually emit zero or
+/// one output, and the threaded runtime surfaces exactly one output per
+/// event. Iterate it directly (`for o in outputs`) — it is `IntoIterator`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Outputs<O> {
+    /// No observable output (pure message handling).
+    #[default]
+    None,
+    /// Exactly one output, held inline.
+    One(O),
+    /// Two or more outputs from a single event.
+    Many(Vec<O>),
+}
+
+impl<O> Outputs<O> {
+    /// Number of outputs carried.
+    pub fn len(&self) -> usize {
+        match self {
+            Outputs::None => 0,
+            Outputs::One(_) => 1,
+            Outputs::Many(v) => v.len(),
+        }
+    }
+
+    /// Whether no outputs are carried.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Outputs::None) || matches!(self, Outputs::Many(v) if v.is_empty())
+    }
+
+    /// Borrowing iterator over the outputs.
+    pub fn iter(&self) -> std::slice::Iter<'_, O> {
+        match self {
+            Outputs::None => [].iter(),
+            Outputs::One(o) => std::slice::from_ref(o).iter(),
+            Outputs::Many(v) => v.iter(),
+        }
+    }
+
+    /// Convert into a `Vec` (allocates only in the `One` case).
+    pub fn into_vec(self) -> Vec<O> {
+        match self {
+            Outputs::None => Vec::new(),
+            Outputs::One(o) => vec![o],
+            Outputs::Many(v) => v,
+        }
+    }
+}
+
+impl<O> From<Vec<O>> for Outputs<O> {
+    fn from(mut v: Vec<O>) -> Self {
+        match v.len() {
+            0 => Outputs::None,
+            1 => Outputs::One(v.pop().expect("len checked")),
+            _ => Outputs::Many(v),
+        }
+    }
+}
+
+impl<O> From<O> for Outputs<O> {
+    fn from(o: O) -> Self {
+        Outputs::One(o)
+    }
+}
+
+impl<O> IntoIterator for Outputs<O> {
+    type Item = O;
+    type IntoIter = std::vec::IntoIter<O>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        // Vec's iterator for all arities keeps the type simple; the One
+        // case allocates only when actually iterated by value, which the
+        // hot threaded paths (recv_output / visit callbacks) avoid.
+        self.into_vec().into_iter()
+    }
+}
+
+impl<'a, O> IntoIterator for &'a Outputs<O> {
+    type Item = &'a O;
+    type IntoIter = std::slice::Iter<'a, O>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 
@@ -110,10 +205,13 @@ pub enum Pumped<O> {
         /// The process that acted.
         pid: ProcessId,
         /// Observable outputs emitted during the event.
-        outputs: Vec<O>,
+        outputs: Outputs<O>,
     },
-    /// Nothing surfaced right now, but processes may still be working
-    /// (threads mid-computation). Never returned by the simulator.
+    /// No output surfaced for a full `pump_timeout` window: the threaded
+    /// pump blocks directly on the shared output channel, so `Idle` means
+    /// provably no process emitted an output during the window (though
+    /// workers may still be computing or waiting on timers). Never
+    /// returned by the simulator.
     Idle,
     /// No event will ever surface again (simulator queue drained, or the
     /// threaded cluster stopped).
@@ -251,7 +349,9 @@ where
 
     fn pump(&mut self) -> Pumped<O> {
         match self.step() {
-            Some(ev) => Pumped::Event { time: ev.time, pid: ev.pid, outputs: ev.outputs },
+            Some(ev) => {
+                Pumped::Event { time: ev.time, pid: ev.pid, outputs: Outputs::from(ev.outputs) }
+            }
             None => Pumped::Quiescent,
         }
     }

@@ -1,48 +1,61 @@
-//! Real-thread runtime: one OS thread per process, crossbeam FIFO channels.
+//! Real-thread runtime: one OS thread per process, crossbeam FIFO channels,
+//! event-driven end to end — no polling loop anywhere.
 //!
-//! This substrate exists for experiment E9 (wall-clock throughput of the
-//! register under real parallelism) and to demonstrate that the sans-IO
+//! This substrate exists for experiment E9/E15 (wall-clock throughput of
+//! the register under real threads) and to demonstrate that the sans-IO
 //! automata are substrate-independent. Each process owns an unbounded
 //! crossbeam channel as its inbox; since a crossbeam channel delivers any
 //! single producer's messages in send order, the per-pair FIFO property the
 //! protocol relies on holds. There is no determinism — correctness
 //! assertions belong on the simulator, throughput measurements here — but
-//! the full driver surface of [`crate::substrate::Substrate`] is supported:
+//! the full driver surface of [`crate::substrate::Substrate`] is supported.
 //!
-//! * **Timers**: each worker keeps a local timer wheel and waits on its
-//!   inbox with `recv_deadline`; a timer of `d` virtual units fires after
-//!   `d × tick` of wall clock (`tick` from
-//!   [`crate::substrate::SubstrateConfig`]).
-//! * **Time**: `Ctx::now` and output timestamps are ticks elapsed since
-//!   spawn, measured against one shared epoch — comparable across
-//!   processes the way virtual time is on the simulator.
-//! * **Metrics**: workers record sends/deliveries/drops into shared atomic
-//!   counters, snapshotted on demand as [`NetMetrics`].
-//! * **Fault injection**: [`FaultPlan`]s corrupt victim automata in-thread
-//!   (a control message invokes [`Automaton::corrupt`]) and inject garbage
-//!   messages on the listed channels with spoofed senders.
-//! * **Link faults**: workers consult a shared link-fault table before
-//!   every delivery; a faulted link drops, duplicates, or stalls the send
-//!   on the *sender* side, so FIFO order among surviving messages is
-//!   preserved (they still traverse one crossbeam channel in send order).
-//!   Faults apply to sends that *begin* after the table update — a send
-//!   racing the update may see either state, which is the honest threaded
-//!   analogue of a fault landing "at" an instant.
+//! Every wait in the runtime is a blocking wait on a channel or condvar;
+//! wakeups come from the peer that produced the work:
+//!
+//! * **Workers** block in `recv()` on their inbox. Everything that can
+//!   happen to a process — deliveries, control messages, *and timer
+//!   firings* — arrives as an inbox message, so the worker loop has no
+//!   deadline arithmetic and never spins.
+//! * **Timers**: a worker registers `set_timer(d, id)` with the shared
+//!   [`TimerWheel`] (one dedicated thread for the whole cluster, asleep
+//!   until the earliest deadline); at `d × tick` of wall clock the wheel
+//!   sends `Ctl::Timer` back into the worker's inbox. Firings carry the
+//!   worker's incarnation number: firings armed before a restart are
+//!   discarded on receipt, matching the simulator's incarnation rule.
+//! * **Outputs / pump**: workers send `(time, pid, output)` into one
+//!   shared hub; [`crate::substrate::Substrate::pump`] blocks directly on
+//!   it up to `pump_timeout`, so [`Pumped::Idle`] means provably
+//!   no-output-for-the-window rather than poll jitter.
+//! * **Link faults**: consulted on the *sender* side. Drops and
+//!   duplicates act immediately; `extra_delay` hands the message to the
+//!   timer wheel as a per-link deferred delivery instead of sleeping the
+//!   worker — other destinations of the same sender are unaffected. Every
+//!   later send on a delayed link (even after the fault is cleared) is
+//!   clamped behind the last deferred delivery, so per-link FIFO among
+//!   surviving messages is preserved, mirroring the simulator's
+//!   `(now + extra).max(last + 1)` clamp.
 //! * **Crash recovery**: a restart control message replaces the worker's
-//!   automaton in place, clears its timer wheel (old-incarnation timers
-//!   never fire), un-crashes it, and runs `on_start` — the inbox channel
-//!   and thread survive, so peers keep a working route to the process.
-//! * **Shutdown**: `stop` (and `Drop`) delivers stop controls and joins
-//!   every worker with a bounded timeout, so a hung automaton cannot hang
-//!   the driver.
+//!   automaton in place, bumps its incarnation (stale timer firings are
+//!   ignored on receipt), un-crashes it, and runs `on_start` — the inbox
+//!   channel and thread survive, so peers keep a working route.
+//! * **Shutdown**: `stop` (and `Drop`) delivers stop controls, halts the
+//!   timer wheel (discarding deferred work), and parks on an exit latch
+//!   that each worker signals on the way out — a condvar wait bounded by
+//!   `join_timeout`, not a join-poll.
+//!
+//! Metrics accounting is identical to the simulator's: a faulted send
+//! counts as sent no matter what the fault does to it, a drop adds one to
+//! `messages_dropped`, a duplicate is one send delivered twice, and a
+//! delayed message is one send delivered once (later).
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -50,23 +63,56 @@ use crate::corruption::FaultPlan;
 use crate::metrics::NetMetrics;
 use crate::nemesis::LinkFault;
 use crate::process::{Automaton, Ctx, ProcessId, ENV};
-use crate::substrate::{Backend, Pumped, Substrate, SubstrateConfig};
+use crate::substrate::{Backend, Outputs, Pumped, Substrate, SubstrateConfig};
+use crate::timer_wheel::{TimerWheel, TimerWheelThread};
 use crate::trace::Trace;
 
 enum Ctl<M, O> {
-    Msg { from: ProcessId, msg: M },
+    Msg {
+        from: ProcessId,
+        msg: M,
+    },
+    /// A timer firing routed back from the wheel; `incarnation` tags the
+    /// worker lifetime that armed it so stale firings die on receipt.
+    Timer {
+        id: u64,
+        incarnation: u64,
+    },
     Corrupt,
     Crash,
     Restart(Box<dyn Automaton<M, O>>),
     Stop,
 }
 
+/// What the link-fault table decided for one send.
+enum SendPlan {
+    /// Deliver now (possibly twice).
+    Direct { dup: bool },
+    /// The fault ate the message.
+    Dropped,
+    /// Hand to the timer wheel: deliver at tick `at` (and, when
+    /// duplicated, again at `dup_at`).
+    Defer { at: u64, dup_at: Option<u64> },
+}
+
+/// Per-directed-link fault state. `fault` is what the nemesis installed;
+/// the other two fields keep FIFO while deferred deliveries are in flight:
+/// as long as `deferred_pending > 0`, *every* later send on the link is
+/// deferred behind `last_fire_tick` (even a fault-free one after the fault
+/// was cleared), because a direct send would overtake the queued ones.
+#[derive(Default)]
+struct LinkState {
+    fault: Option<LinkFault>,
+    deferred_pending: usize,
+    last_fire_tick: u64,
+}
+
 /// Shared per-directed-link fault table. The `AtomicBool` fast path keeps
 /// the fault-free hot loop lock-free: workers only take the mutex while at
-/// least one fault is installed.
+/// least one fault is installed or a deferred delivery is still in flight.
 struct LinkFaults {
     any_active: AtomicBool,
-    map: Mutex<HashMap<(ProcessId, ProcessId), LinkFault>>,
+    map: Mutex<HashMap<(ProcessId, ProcessId), LinkState>>,
 }
 
 impl LinkFaults {
@@ -74,24 +120,77 @@ impl LinkFaults {
         Self { any_active: AtomicBool::new(false), map: Mutex::new(HashMap::new()) }
     }
 
-    fn get(&self, from: ProcessId, to: ProcessId) -> Option<LinkFault> {
-        if !self.any_active.load(Ordering::Acquire) {
-            return None;
-        }
-        self.map.lock().ok().and_then(|m| m.get(&(from, to)).copied())
-    }
-
     fn set(&self, from: ProcessId, to: ProcessId, fault: Option<LinkFault>) {
         if let Ok(mut m) = self.map.lock() {
             match fault {
-                Some(f) => {
-                    m.insert((from, to), f);
-                }
+                Some(f) => m.entry((from, to)).or_default().fault = Some(f),
                 None => {
+                    if let Some(st) = m.get_mut(&(from, to)) {
+                        st.fault = None;
+                        if st.deferred_pending == 0 {
+                            m.remove(&(from, to));
+                        }
+                    }
+                }
+            }
+            Self::refresh_active(&self.any_active, &m);
+        }
+    }
+
+    fn refresh_active(flag: &AtomicBool, m: &HashMap<(ProcessId, ProcessId), LinkState>) {
+        let active = m.values().any(|st| st.fault.is_some() || st.deferred_pending > 0);
+        flag.store(active, Ordering::Release);
+    }
+
+    /// Decide the fate of one send on `(from, to)` at tick `now`.
+    /// Deferred sends reserve their delivery slots here, under the lock,
+    /// so concurrent senders on the same link serialize their clamps.
+    fn plan(&self, from: ProcessId, to: ProcessId, now: u64, rng: &mut StdRng) -> SendPlan {
+        if !self.any_active.load(Ordering::Acquire) {
+            return SendPlan::Direct { dup: false };
+        }
+        let Ok(mut m) = self.map.lock() else {
+            return SendPlan::Direct { dup: false };
+        };
+        let Some(st) = m.get_mut(&(from, to)) else {
+            return SendPlan::Direct { dup: false };
+        };
+        let (mut dup, mut extra) = (false, 0u64);
+        if let Some(f) = st.fault {
+            if f.drop_rate > 0.0 && rng.gen_bool(f.drop_rate.min(1.0)) {
+                return SendPlan::Dropped;
+            }
+            dup = f.dup_rate > 0.0 && rng.gen_bool(f.dup_rate.min(1.0));
+            extra = f.extra_delay;
+        }
+        if extra == 0 && st.deferred_pending == 0 {
+            return SendPlan::Direct { dup };
+        }
+        // Same monotone clamp as the simulator's channel: never before
+        // `now + extra`, never at-or-before the previous delivery.
+        let at = (now + extra).max(st.last_fire_tick + 1);
+        st.last_fire_tick = at;
+        st.deferred_pending += 1;
+        let dup_at = dup.then(|| {
+            st.last_fire_tick = at + 1;
+            st.deferred_pending += 1;
+            at + 1
+        });
+        SendPlan::Defer { at, dup_at }
+    }
+
+    /// One deferred delivery on `(from, to)` left the wheel (called by the
+    /// wheel thread *after* the message is in the destination inbox, so a
+    /// sender observing `deferred_pending == 0` cannot overtake it).
+    fn deferred_done(&self, from: ProcessId, to: ProcessId) {
+        if let Ok(mut m) = self.map.lock() {
+            if let Some(st) = m.get_mut(&(from, to)) {
+                st.deferred_pending = st.deferred_pending.saturating_sub(1);
+                if st.fault.is_none() && st.deferred_pending == 0 {
                     m.remove(&(from, to));
                 }
             }
-            self.any_active.store(!m.is_empty(), Ordering::Release);
+            Self::refresh_active(&self.any_active, &m);
         }
     }
 }
@@ -156,19 +255,164 @@ impl SharedMetrics {
     }
 }
 
+/// Single MPMC hub carrying every worker's outputs, so `pump` blocks on
+/// one wait instead of sweeping per-process queues. Per-pid receives
+/// (`recv_output`) coexist with pump by rescanning the queue on every
+/// wakeup; an item consumed by neither party stays queued.
+struct OutputHub<O> {
+    inner: Mutex<HubInner<O>>,
+    cond: Condvar,
+}
+
+struct HubInner<O> {
+    queue: VecDeque<(u64, ProcessId, O)>,
+    /// Waiting receivers; pushes skip the condvar syscall when zero.
+    waiting: usize,
+    /// Live worker count; when it hits zero, blocked receivers give up.
+    producers: usize,
+}
+
+impl<O> OutputHub<O> {
+    fn new(producers: usize) -> Self {
+        Self {
+            inner: Mutex::new(HubInner { queue: VecDeque::new(), waiting: 0, producers }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: (u64, ProcessId, O)) {
+        let mut inner = self.inner.lock().expect("hub lock");
+        inner.queue.push_back(item);
+        if inner.waiting > 0 {
+            drop(inner);
+            // notify_all, not notify_one: per-pid waiters must rescan even
+            // when the item is not theirs, else a pid-B item could absorb
+            // the only wakeup while pid-A's waiter sleeps on.
+            self.cond.notify_all();
+        }
+    }
+
+    fn producer_gone(&self) {
+        let mut inner = self.inner.lock().expect("hub lock");
+        inner.producers = inner.producers.saturating_sub(1);
+        if inner.producers == 0 && inner.waiting > 0 {
+            drop(inner);
+            self.cond.notify_all();
+        }
+    }
+
+    /// Wait for the next output from any process, up to `deadline`.
+    fn recv_any(&self, deadline: Instant) -> Option<(u64, ProcessId, O)> {
+        let mut inner = self.inner.lock().expect("hub lock");
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                return Some(item);
+            }
+            if inner.producers == 0 {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            inner.waiting += 1;
+            let (guard, _) = self.cond.wait_timeout(inner, deadline - now).expect("hub wait");
+            inner = guard;
+            inner.waiting -= 1;
+        }
+    }
+
+    /// Wait for the next output *from `pid`*, up to `deadline`; outputs of
+    /// other processes are left queued for their own consumers.
+    fn recv_for(&self, pid: ProcessId, deadline: Instant) -> Option<O> {
+        let mut inner = self.inner.lock().expect("hub lock");
+        loop {
+            if let Some(at) = inner.queue.iter().position(|&(_, p, _)| p == pid) {
+                return inner.queue.remove(at).map(|(_, _, o)| o);
+            }
+            if inner.producers == 0 {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            inner.waiting += 1;
+            let (guard, _) = self.cond.wait_timeout(inner, deadline - now).expect("hub wait");
+            inner = guard;
+            inner.waiting -= 1;
+        }
+    }
+
+    /// Non-blocking variant of [`OutputHub::recv_for`].
+    fn try_recv_for(&self, pid: ProcessId) -> Option<O> {
+        let mut inner = self.inner.lock().expect("hub lock");
+        inner
+            .queue
+            .iter()
+            .position(|&(_, p, _)| p == pid)
+            .and_then(|at| inner.queue.remove(at))
+            .map(|(_, _, o)| o)
+    }
+}
+
+/// Counts workers still running; `stop` parks here instead of join-polling.
+struct ExitLatch {
+    remaining: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl ExitLatch {
+    fn new(n: usize) -> Self {
+        Self { remaining: Mutex::new(n), cond: Condvar::new() }
+    }
+
+    fn arrive(&self) {
+        let mut r = self.remaining.lock().expect("latch lock");
+        *r = r.saturating_sub(1);
+        if *r == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    /// Wait until every worker arrived or `deadline` passes; returns
+    /// whether all arrived.
+    fn wait_all(&self, deadline: Instant) -> bool {
+        let mut r = self.remaining.lock().expect("latch lock");
+        while *r > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self.cond.wait_timeout(r, deadline - now).expect("latch wait");
+            r = guard;
+        }
+        true
+    }
+}
+
 /// Everything one worker thread needs; grouped to keep the spawn loop flat.
 struct Worker<M, O> {
     pid: ProcessId,
     auto: Box<dyn Automaton<M, O>>,
     rx: Receiver<Ctl<M, O>>,
+    /// Sender onto our own inbox, cloned into wheel actions for timers.
+    self_tx: Sender<Ctl<M, O>>,
     peers: Vec<Sender<Ctl<M, O>>>,
-    out: Sender<(u64, O)>,
+    out: Arc<OutputHub<O>>,
+    wheel: TimerWheel,
     metrics: Arc<SharedMetrics>,
     links: Arc<LinkFaults>,
     trace: Option<Arc<Mutex<Trace>>>,
     epoch: Instant,
     tick: Duration,
     rng: StdRng,
+    /// Bumped on restart; `Ctl::Timer` firings from older incarnations
+    /// are discarded on receipt (the simulator's incarnation rule).
+    incarnation: u64,
+    /// Peers with a parked receiver awaiting a wake at the end of the
+    /// current dispatch (reused across dispatches to avoid allocation).
+    wake_buf: Vec<ProcessId>,
 }
 
 impl<M, O> Worker<M, O>
@@ -180,49 +424,62 @@ where
         ticks_since(self.epoch, self.tick)
     }
 
-    fn run(mut self) {
-        // Timer wheel: earliest deadline first; seq breaks ties FIFO.
-        let mut timers: BinaryHeap<std::cmp::Reverse<(Instant, u64, u64)>> = BinaryHeap::new();
-        let mut timer_seq = 0u64;
+    fn run(mut self, latch: Arc<ExitLatch>) {
+        struct Arrive(Arc<ExitLatch>);
+        impl Drop for Arrive {
+            fn drop(&mut self) {
+                self.0.arrive();
+            }
+        }
+        let _arrive = Arrive(Arc::clone(&latch));
+        let hub = Arc::clone(&self.out);
+        struct ProducerGone<O>(Arc<OutputHub<O>>);
+        impl<O> Drop for ProducerGone<O> {
+            fn drop(&mut self) {
+                self.0.producer_gone();
+            }
+        }
+        let _gone = ProducerGone(hub);
+
         let mut crashed = false;
-
         let now = self.ticks();
-        self.dispatch(now, &mut timers, &mut timer_seq, |auto, ctx| auto.on_start(ctx));
+        self.dispatch(now, |auto, ctx| auto.on_start(ctx));
 
+        // The whole loop is one blocking recv: deliveries, controls, and
+        // timer firings all arrive as inbox messages, so the worker never
+        // computes a deadline and never wakes without work.
         loop {
-            let ctl = match timers.peek() {
-                Some(&std::cmp::Reverse((deadline, _, _))) => {
-                    match self.rx.recv_deadline(deadline) {
-                        Ok(ctl) => Some(ctl),
-                        Err(RecvTimeoutError::Timeout) => None, // a timer is due
-                        Err(RecvTimeoutError::Disconnected) => return,
-                    }
-                }
-                None => match self.rx.recv() {
-                    Ok(ctl) => Some(ctl),
-                    Err(_) => return,
-                },
-            };
-            match ctl {
-                Some(Ctl::Stop) => return,
-                Some(Ctl::Crash) => {
+            match self.rx.recv() {
+                Err(_) | Ok(Ctl::Stop) => return,
+                Ok(Ctl::Crash) => {
                     crashed = true;
-                    timers.clear();
+                    // Armed timers stay in the wheel; their firings are
+                    // discarded below while `crashed` (and by incarnation
+                    // after a restart) — same as the simulator consuming a
+                    // crashed pid's timer events silently.
                 }
-                Some(Ctl::Corrupt) => {
+                Ok(Ctl::Corrupt) => {
                     self.auto.corrupt(&mut self.rng);
                 }
-                Some(Ctl::Restart(auto)) => {
-                    // Crash recovery with state loss: fresh automaton, no
-                    // surviving timers, inbox and thread reused.
+                Ok(Ctl::Restart(auto)) => {
+                    // Crash recovery with state loss: fresh automaton, new
+                    // incarnation (old firings die on receipt), inbox and
+                    // thread reused.
                     self.auto = auto;
                     crashed = false;
-                    timers.clear();
-                    timer_seq = 0;
+                    self.incarnation += 1;
                     let now = self.ticks();
-                    self.dispatch(now, &mut timers, &mut timer_seq, |auto, ctx| auto.on_start(ctx));
+                    self.dispatch(now, |auto, ctx| auto.on_start(ctx));
                 }
-                Some(Ctl::Msg { from, msg }) => {
+                Ok(Ctl::Timer { id, incarnation }) => {
+                    if crashed || incarnation != self.incarnation {
+                        continue;
+                    }
+                    self.metrics.events.fetch_add(1, Ordering::Relaxed);
+                    let now = self.ticks();
+                    self.dispatch(now, |auto, ctx| auto.on_timer(id, ctx));
+                }
+                Ok(Ctl::Msg { from, msg }) => {
                     if crashed {
                         self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
                         continue;
@@ -235,40 +492,14 @@ where
                             t.record(now, from, self.pid, || format!("{msg:?}"));
                         }
                     }
-                    self.dispatch(now, &mut timers, &mut timer_seq, |auto, ctx| {
-                        auto.on_message(from, msg, ctx)
-                    });
-                }
-                None => {
-                    // The earliest timer is due (and possibly more).
-                    let wall = Instant::now();
-                    while let Some(&std::cmp::Reverse((deadline, _, id))) = timers.peek() {
-                        if deadline > wall {
-                            break;
-                        }
-                        timers.pop();
-                        if crashed {
-                            continue;
-                        }
-                        self.metrics.events.fetch_add(1, Ordering::Relaxed);
-                        let now = self.ticks();
-                        self.dispatch(now, &mut timers, &mut timer_seq, |auto, ctx| {
-                            auto.on_timer(id, ctx)
-                        });
-                    }
+                    self.dispatch(now, |auto, ctx| auto.on_message(from, msg, ctx));
                 }
             }
         }
     }
 
     /// Run one callback, then flush its effects to peers/outputs/timers.
-    fn dispatch(
-        &mut self,
-        now: u64,
-        timers: &mut BinaryHeap<std::cmp::Reverse<(Instant, u64, u64)>>,
-        timer_seq: &mut u64,
-        f: impl FnOnce(&mut dyn Automaton<M, O>, &mut Ctx<'_, M, O>),
-    ) {
+    fn dispatch(&mut self, now: u64, f: impl FnOnce(&mut dyn Automaton<M, O>, &mut Ctx<'_, M, O>)) {
         let mut ctx = Ctx::new(self.pid, now, &mut self.rng);
         f(&mut *self.auto, &mut ctx);
         let (outbox, outputs, set_timers) = ctx.drain();
@@ -277,45 +508,72 @@ where
                 self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            match self.links.get(self.pid, to) {
-                None => {
-                    self.metrics.record_send(self.pid);
-                    let _ = self.peers[to].send(Ctl::Msg { from: self.pid, msg });
-                }
-                Some(f) => {
-                    // The message was handed to the (faulty) channel, so it
-                    // counts as sent no matter what the fault does to it —
-                    // the sim backend records the send before consulting the
-                    // link fault, and the backends must agree.
-                    self.metrics.record_send(self.pid);
-                    if f.drop_rate > 0.0 && self.rng.gen_bool(f.drop_rate.min(1.0)) {
-                        self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                    if f.extra_delay > 0 {
-                        // Sender-side stall: delays this send and everything
-                        // after it on this worker, which keeps FIFO intact.
-                        // Capped so a fault cannot freeze a worker for long.
-                        let units = f.extra_delay.min(100) as u32;
-                        std::thread::sleep(self.tick.saturating_mul(units));
-                    }
+            // The message is handed to the (possibly faulty) channel, so
+            // it counts as sent no matter what the fault does to it — the
+            // sim backend records the send before consulting the link
+            // fault, and the backends must agree.
+            self.metrics.record_send(self.pid);
+            match self.links.plan(self.pid, to, now, &mut self.rng) {
+                SendPlan::Direct { dup } => {
                     // A duplicate is one send delivered twice (the channel
                     // replays it); only the deliveries tally twice.
-                    if f.dup_rate > 0.0 && self.rng.gen_bool(f.dup_rate.min(1.0)) {
-                        let _ = self.peers[to].send(Ctl::Msg { from: self.pid, msg: msg.clone() });
+                    // Quiet sends: publish the whole outbox first, wake
+                    // parked peers once at the end of the dispatch, so a
+                    // woken consumer cannot preempt this worker while
+                    // later outbox messages are still unsent.
+                    if dup {
+                        let _ = self.peers[to]
+                            .send_quiet(Ctl::Msg { from: self.pid, msg: msg.clone() });
                     }
-                    let _ = self.peers[to].send(Ctl::Msg { from: self.pid, msg });
+                    if let Ok(parked) = self.peers[to].send_quiet(Ctl::Msg { from: self.pid, msg })
+                    {
+                        if parked && !self.wake_buf.contains(&to) {
+                            self.wake_buf.push(to);
+                        }
+                    }
+                }
+                SendPlan::Dropped => {
+                    self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                SendPlan::Defer { at, dup_at } => {
+                    // Deferred delivery through the wheel: only this link
+                    // waits; the worker moves straight on to its other
+                    // destinations. The wheel fires in (tick, registration)
+                    // order and each link's ticks are strictly increasing,
+                    // so per-link FIFO survives the detour.
+                    let from = self.pid;
+                    if let Some(at2) = dup_at {
+                        let tx = self.peers[to].clone();
+                        let links = Arc::clone(&self.links);
+                        let msg2 = msg.clone();
+                        self.wheel.register(at2, move || {
+                            let _ = tx.send(Ctl::Msg { from, msg: msg2 });
+                            links.deferred_done(from, to);
+                        });
+                    }
+                    let tx = self.peers[to].clone();
+                    let links = Arc::clone(&self.links);
+                    self.wheel.register(at, move || {
+                        let _ = tx.send(Ctl::Msg { from, msg });
+                        links.deferred_done(from, to);
+                    });
                 }
             }
         }
+        for to in self.wake_buf.drain(..) {
+            self.peers[to].wake();
+        }
         for o in outputs {
-            let _ = self.out.send((now, o));
+            self.out.push((now, self.pid, o));
         }
         for (delay, id) in set_timers {
-            let units = delay.clamp(1, u32::MAX as u64) as u32;
-            let deadline = Instant::now() + self.tick.saturating_mul(units);
-            timers.push(std::cmp::Reverse((deadline, *timer_seq, id)));
-            *timer_seq += 1;
+            // Same arming rule as the simulator: fire at now + max(delay, 1).
+            let fire = now + delay.max(1);
+            let tx = self.self_tx.clone();
+            let incarnation = self.incarnation;
+            self.wheel.register(fire, move || {
+                let _ = tx.send(Ctl::Timer { id, incarnation });
+            });
         }
     }
 }
@@ -327,8 +585,10 @@ fn ticks_since(epoch: Instant, tick: Duration) -> u64 {
 /// A running cluster of automata on OS threads.
 pub struct ThreadedCluster<M, O> {
     inboxes: Vec<Sender<Ctl<M, O>>>,
-    outputs: Vec<Receiver<(u64, O)>>,
+    outputs: Arc<OutputHub<O>>,
     handles: Vec<JoinHandle<()>>,
+    latch: Arc<ExitLatch>,
+    wheel: TimerWheelThread,
     metrics: Arc<SharedMetrics>,
     links: Arc<LinkFaults>,
     trace: Option<Arc<Mutex<Trace>>>,
@@ -338,8 +598,6 @@ pub struct ThreadedCluster<M, O> {
     tick: Duration,
     pump_timeout: Duration,
     join_timeout: Duration,
-    /// Round-robin start position for fair output polling in `pump`.
-    poll_from: usize,
     stopped: bool,
 }
 
@@ -363,30 +621,25 @@ where
             inbox_tx.push(tx);
             inbox_rx.push(rx);
         }
-        let mut out_tx = Vec::with_capacity(n);
-        let mut out_rx = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded::<(u64, O)>();
-            out_tx.push(tx);
-            out_rx.push(rx);
-        }
-
+        let outputs = Arc::new(OutputHub::new(n));
         let metrics = Arc::new(SharedMetrics::new(n));
         let links = Arc::new(LinkFaults::new());
+        let latch = Arc::new(ExitLatch::new(n));
         let trace = (config.trace_capacity > 0)
             .then(|| Arc::new(Mutex::new(Trace::new(config.trace_capacity))));
         let epoch = Instant::now();
+        let wheel = TimerWheel::spawn(epoch, config.tick);
 
         let mut handles = Vec::with_capacity(n);
-        for ((pid, auto), (rx, out)) in
-            procs.into_iter().enumerate().zip(inbox_rx.into_iter().zip(out_tx))
-        {
+        for ((pid, auto), rx) in procs.into_iter().enumerate().zip(inbox_rx) {
             let worker = Worker {
                 pid,
                 auto,
+                self_tx: inbox_tx[pid].clone(),
                 rx,
                 peers: inbox_tx.clone(),
-                out,
+                out: Arc::clone(&outputs),
+                wheel: wheel.handle(),
                 metrics: Arc::clone(&metrics),
                 links: Arc::clone(&links),
                 trace: trace.clone(),
@@ -395,14 +648,19 @@ where
                 rng: StdRng::seed_from_u64(
                     config.seed ^ (pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 ),
+                incarnation: 0,
+                wake_buf: Vec::new(),
             };
-            handles.push(std::thread::spawn(move || worker.run()));
+            let latch = Arc::clone(&latch);
+            handles.push(std::thread::spawn(move || worker.run(latch)));
         }
 
         Self {
             inboxes: inbox_tx,
-            outputs: out_rx,
+            outputs,
             handles,
+            latch,
+            wheel,
             metrics,
             links,
             trace,
@@ -411,7 +669,6 @@ where
             tick: config.tick,
             pump_timeout: config.pump_timeout,
             join_timeout: config.join_timeout,
-            poll_from: 0,
             stopped: false,
         }
     }
@@ -444,14 +701,17 @@ where
         let _ = self.inboxes[to].send(Ctl::Msg { from, msg });
     }
 
-    /// Block until `pid` emits an output, up to `timeout`.
+    /// Block until `pid` emits an output, up to `timeout`. Outputs of
+    /// other processes are left for their own consumers, so concurrent
+    /// per-pid waiters (one client thread each) do not steal each other's
+    /// results.
     pub fn recv_output(&self, pid: ProcessId, timeout: Duration) -> Option<O> {
-        self.outputs[pid].recv_timeout(timeout).ok().map(|(_, o)| o)
+        self.outputs.recv_for(pid, Instant::now() + timeout)
     }
 
     /// Non-blocking output poll.
     pub fn try_recv_output(&self, pid: ProcessId) -> Option<O> {
-        self.outputs[pid].try_recv().ok().map(|(_, o)| o)
+        self.outputs.try_recv_for(pid)
     }
 
     /// Send a command and wait for the next output from the same process —
@@ -494,12 +754,15 @@ impl<M, O> ThreadedCluster<M, O> {
         for tx in &self.inboxes {
             let _ = tx.send(Ctl::Stop);
         }
-        let deadline = Instant::now() + self.join_timeout;
+        // Halt the wheel first: pending deferred deliveries and timer
+        // firings are discarded (dropping their inbox-sender clones), per
+        // the stop-discards-pending-work contract.
+        self.wheel.stop();
+        // Park on the exit latch — each worker signals it on the way out —
+        // instead of polling `is_finished`.
+        let all = self.latch.wait_all(Instant::now() + self.join_timeout);
         for h in self.handles.drain(..) {
-            while !h.is_finished() && Instant::now() < deadline {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            if h.is_finished() {
+            if all || h.is_finished() {
                 let _ = h.join();
             }
             // Past the deadline a hung worker is abandoned (detached): its
@@ -535,29 +798,16 @@ where
         ThreadedCluster::send(self, pid, msg);
     }
 
-    /// Sweep all output queues (round-robin start for fairness); block in
-    /// short slices up to `pump_timeout` before reporting [`Pumped::Idle`].
+    /// Block directly on the shared output hub up to `pump_timeout`:
+    /// one wait, no sweeping, no sleep slices. [`Pumped::Idle`] therefore
+    /// certifies that no process emitted an output during the window.
     fn pump(&mut self) -> Pumped<O> {
-        if self.stopped {
+        if self.stopped || self.inboxes.is_empty() {
             return Pumped::Quiescent;
         }
-        let n = self.outputs.len();
-        if n == 0 {
-            return Pumped::Quiescent;
-        }
-        let deadline = Instant::now() + self.pump_timeout;
-        loop {
-            for i in 0..n {
-                let pid = (self.poll_from + i) % n;
-                if let Ok((time, o)) = self.outputs[pid].try_recv() {
-                    self.poll_from = (pid + 1) % n;
-                    return Pumped::Event { time, pid, outputs: vec![o] };
-                }
-            }
-            if Instant::now() >= deadline {
-                return Pumped::Idle;
-            }
-            std::thread::sleep(Duration::from_micros(200));
+        match self.outputs.recv_any(Instant::now() + self.pump_timeout) {
+            Some((time, pid, o)) => Pumped::Event { time, pid, outputs: Outputs::One(o) },
+            None => Pumped::Idle,
         }
     }
 
@@ -734,6 +984,30 @@ mod tests {
     }
 
     #[test]
+    fn restart_invalidates_prior_incarnation_timers() {
+        /// Arms a long timer on start, outputs `gen` when it fires.
+        struct Gen(u32);
+        impl Automaton<Ping, u32> for Gen {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Ping, u32>) {
+                ctx.set_timer(10, u64::from(self.0));
+            }
+            fn on_timer(&mut self, id: u64, ctx: &mut Ctx<'_, Ping, u32>) {
+                ctx.output(id as u32);
+            }
+            fn on_message(&mut self, _: ProcessId, _: Ping, _: &mut Ctx<'_, Ping, u32>) {}
+        }
+        let cluster: ThreadedCluster<Ping, u32> =
+            ThreadedCluster::spawn(vec![Box::new(Gen(1))], 11);
+        // Restart before the first incarnation's timer fires; only the
+        // second incarnation's firing may surface.
+        cluster.restart_process(0, Box::new(Gen(2)));
+        let got = cluster.recv_output(0, Duration::from_secs(5));
+        assert_eq!(got, Some(2), "stale-incarnation timer must not fire");
+        assert_eq!(cluster.try_recv_output(0), None);
+        cluster.shutdown();
+    }
+
+    #[test]
     fn metrics_count_sends_and_deliveries() {
         let mut cluster: ThreadedCluster<Ping, u32> =
             ThreadedCluster::spawn(vec![Box::new(Doubler), Box::new(Worker2)], 6);
@@ -787,5 +1061,105 @@ mod tests {
         let out = cluster.invoke_and_wait(0, Ping(0), Duration::from_secs(5));
         assert_eq!(out, Some(1), "corrupt control must precede the probe (FIFO)");
         Substrate::stop(&mut cluster);
+    }
+
+    #[test]
+    fn delayed_link_does_not_stall_other_links() {
+        /// Fans one env command out to both peers; peers echo back.
+        struct Fan;
+        impl Automaton<Ping, u32> for Fan {
+            fn on_message(&mut self, from: ProcessId, msg: Ping, ctx: &mut Ctx<'_, Ping, u32>) {
+                if from == ENV {
+                    ctx.send(1, msg.clone());
+                    ctx.send(2, msg);
+                } else {
+                    ctx.output(from as u32);
+                }
+            }
+        }
+        struct Echo;
+        impl Automaton<Ping, u32> for Echo {
+            fn on_message(&mut self, from: ProcessId, msg: Ping, ctx: &mut Ctx<'_, Ping, u32>) {
+                ctx.send(from, msg);
+            }
+        }
+        let cluster: ThreadedCluster<Ping, u32> = ThreadedCluster::spawn_with(
+            vec![Box::new(Fan), Box::new(Echo), Box::new(Echo)],
+            &SubstrateConfig::seeded(10).with_tick(Duration::from_millis(2)),
+        );
+        // 500 ticks × 2 ms = a full second of delay on link 0→1 only.
+        cluster.set_link_fault_on(0, 1, Some(LinkFault::flaky(0.0, 0.0, 500)));
+        let t0 = Instant::now();
+        cluster.send(0, Ping(7));
+        // The 0→2 echo must come back promptly even though 0→1 is stalled:
+        // the old runtime slept the whole worker for the delay, so this
+        // reply used to take the full second too.
+        let first = cluster.recv_output(0, Duration::from_secs(5));
+        let elapsed = t0.elapsed();
+        assert_eq!(first, Some(2), "fast link's reply must arrive first");
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "delayed 0→1 link stalled the 0→2 send ({elapsed:?})"
+        );
+        // The delayed link still delivers (later), preserving the reply.
+        let second = cluster.recv_output(0, Duration::from_secs(10));
+        assert_eq!(second, Some(1), "delayed link must still deliver");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn delayed_link_preserves_per_link_fifo() {
+        /// Collects the payload order seen by the destination.
+        struct Collect(Vec<u32>);
+        impl Automaton<Ping, Vec<u32>> for Collect {
+            fn on_message(
+                &mut self,
+                _from: ProcessId,
+                msg: Ping,
+                ctx: &mut Ctx<'_, Ping, Vec<u32>>,
+            ) {
+                self.0.push(msg.0);
+                if self.0.len() == 30 {
+                    ctx.output(self.0.clone());
+                }
+            }
+        }
+        /// Forwards env payloads to pid 1.
+        struct Fwd;
+        impl Automaton<Ping, Vec<u32>> for Fwd {
+            fn on_message(
+                &mut self,
+                from: ProcessId,
+                msg: Ping,
+                ctx: &mut Ctx<'_, Ping, Vec<u32>>,
+            ) {
+                if from == ENV {
+                    ctx.send(1, msg);
+                }
+            }
+        }
+        let cluster: ThreadedCluster<Ping, Vec<u32>> = ThreadedCluster::spawn_with(
+            vec![Box::new(Fwd), Box::new(Collect(Vec::new()))],
+            &SubstrateConfig::seeded(12).with_tick(Duration::from_micros(200)),
+        );
+        // First 10 sends race ahead fault-free, then a delayed window, then
+        // the fault is cleared mid-stream: the healed sends must still
+        // queue behind the deferred ones (the FIFO clamp), not overtake.
+        for i in 0..10 {
+            cluster.send(0, Ping(i));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        cluster.set_link_fault_on(0, 1, Some(LinkFault::flaky(0.0, 0.0, 40)));
+        for i in 10..20 {
+            cluster.send(0, Ping(i));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        cluster.set_link_fault_on(0, 1, None);
+        for i in 20..30 {
+            cluster.send(0, Ping(i));
+        }
+        let got = cluster.recv_output(1, Duration::from_secs(10)).expect("all 30 delivered");
+        assert_eq!(got, (0..30).collect::<Vec<u32>>(), "per-link FIFO violated");
+        cluster.shutdown();
     }
 }

@@ -1,0 +1,512 @@
+//! Shared hierarchical timer wheel for the threaded runtime.
+//!
+//! One dedicated thread serves every deadline in a [`ThreadedCluster`]
+//! (worker timers *and* fault-delayed link deliveries): it sleeps exactly
+//! until the earliest registered deadline and is woken early only when a
+//! new registration lands *before* the deadline it is currently sleeping
+//! toward, or on shutdown. Nothing in the wheel polls.
+//!
+//! Deadlines are expressed in substrate *ticks* (the same `u64` virtual
+//! time unit the simulator uses); the wheel maps a tick to the wall clock
+//! through the cluster's epoch and tick length. Entries are hashed into a
+//! four-level wheel (64 slots per level, spans of 64^0..64^3 ticks, ~16.7M
+//! ticks of horizon) with an overflow list beyond that; a slot is a plain
+//! `Vec` and due entries are re-sorted by `(fire_tick, seq)` before firing,
+//! so firing order is **deadline order, registration order within a
+//! deadline** — regardless of how entries were hashed or cascaded.
+//!
+//! Each entry carries a boxed action run on the wheel thread when it fires.
+//! Actions must be short and non-blocking (in practice: one channel send
+//! plus a counter update). An action registered after [`TimerWheelThread::stop`]
+//! is silently discarded, matching the substrate contract that stopping
+//! discards pending work.
+//!
+//! [`ThreadedCluster`]: crate::threaded::ThreadedCluster
+
+use std::collections::HashSet;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Slots per wheel level.
+const SLOTS: usize = 64;
+/// Wheel levels; level `l` has a slot span of `64^l` ticks.
+const LEVELS: usize = 4;
+
+/// Handle returned by [`TimerWheel::register`]; pass to
+/// [`TimerWheel::cancel`] to revoke a pending entry.
+pub type WheelId = u64;
+
+/// A deferred action: fires at `fire_tick`, ties break by `seq`
+/// (registration order).
+struct Entry {
+    fire_tick: u64,
+    seq: u64,
+    id: WheelId,
+    action: Box<dyn FnOnce() + Send>,
+}
+
+/// The hashed hierarchical wheel proper. Slot index at level `l` is
+/// `(fire_tick / 64^l) % 64`; an entry lives at the lowest level whose
+/// span-from-now covers its deadline. Because indexing is absolute, an
+/// entry never needs to cascade — collection filters each touched slot by
+/// `fire_tick` and the final sort restores the global firing order.
+struct Wheel {
+    levels: Vec<Vec<Vec<Entry>>>,
+    overflow: Vec<Entry>,
+    /// Every entry with `fire_tick < floor` has already been collected.
+    floor: u64,
+    pending: usize,
+    seq: u64,
+    next_id: WheelId,
+    cancelled: HashSet<WheelId>,
+}
+
+/// `64^l`, the tick span of one slot at level `l`.
+fn span(level: usize) -> u64 {
+    1u64 << (6 * level as u32)
+}
+
+impl Wheel {
+    fn new() -> Self {
+        Self {
+            levels: (0..LEVELS).map(|_| (0..SLOTS).map(|_| Vec::new()).collect()).collect(),
+            overflow: Vec::new(),
+            floor: 0,
+            pending: 0,
+            seq: 0,
+            next_id: 0,
+            cancelled: HashSet::new(),
+        }
+    }
+
+    fn insert(&mut self, fire_tick: u64, action: Box<dyn FnOnce() + Send>) -> WheelId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let entry = Entry { fire_tick, seq: self.seq, id, action };
+        self.seq += 1;
+        self.pending += 1;
+        let distance = fire_tick.saturating_sub(self.floor);
+        // Level l covers deadlines within 64^(l+1) ticks of the floor.
+        match (0..LEVELS).find(|&l| distance < span(l + 1)) {
+            Some(l) => self.levels[l][(fire_tick / span(l)) as usize % SLOTS].push(entry),
+            None => self.overflow.push(entry),
+        }
+        id
+    }
+
+    /// Remove a pending entry by id. Returns whether one was pending.
+    fn cancel(&mut self, id: WheelId) -> bool {
+        if id >= self.next_id || self.cancelled.contains(&id) {
+            return false;
+        }
+        let lives =
+            self.levels.iter().flatten().flatten().chain(self.overflow.iter()).any(|e| e.id == id);
+        if lives {
+            self.cancelled.insert(id);
+            self.pending -= 1;
+        }
+        lives
+    }
+
+    /// Drain every entry due at or before `now_tick`, in firing order.
+    fn collect_due(&mut self, now_tick: u64) -> Vec<Entry> {
+        if self.pending == 0 {
+            self.floor = self.floor.max(now_tick + 1);
+            return Vec::new();
+        }
+        let mut due = Vec::new();
+        for (l, level) in self.levels.iter_mut().enumerate() {
+            // Only slots the clock has crossed since the floor can hold
+            // due entries; cap the walk at one full revolution.
+            let first = self.floor / span(l);
+            let last = now_tick / span(l);
+            let walk = (last.saturating_sub(first) + 1).min(SLOTS as u64);
+            for s in 0..walk {
+                let slot = &mut level[((first + s) as usize) % SLOTS];
+                let mut i = 0;
+                while i < slot.len() {
+                    if slot[i].fire_tick <= now_tick {
+                        due.push(slot.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if self.overflow[i].fire_tick <= now_tick {
+                due.push(self.overflow.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        self.floor = self.floor.max(now_tick + 1);
+        due.retain(|e| {
+            let cancelled = self.cancelled.remove(&e.id);
+            if !cancelled {
+                self.pending -= 1;
+            }
+            !cancelled
+        });
+        due.sort_unstable_by_key(|e| (e.fire_tick, e.seq));
+        due
+    }
+
+    /// Earliest pending deadline, if any.
+    fn next_fire_tick(&self) -> Option<u64> {
+        if self.pending == 0 {
+            return None;
+        }
+        self.levels
+            .iter()
+            .flatten()
+            .flatten()
+            .chain(self.overflow.iter())
+            .filter(|e| !self.cancelled.contains(&e.id))
+            .map(|e| e.fire_tick)
+            .min()
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+struct State {
+    wheel: Wheel,
+    /// Tick the serving thread is currently sleeping toward (`None` while
+    /// it holds no deadline or is mid-collection). A registration earlier
+    /// than this re-parks the thread; later ones never wake it.
+    sleeping_until: Option<u64>,
+    shutdown: bool,
+}
+
+/// Shared handle to one wheel + its serving thread. Cheap to clone.
+pub struct TimerWheel {
+    shared: Arc<Shared>,
+    epoch: Instant,
+    tick: Duration,
+}
+
+impl Clone for TimerWheel {
+    fn clone(&self) -> Self {
+        Self { shared: Arc::clone(&self.shared), epoch: self.epoch, tick: self.tick }
+    }
+}
+
+/// Owns the serving thread; stopping (or dropping) this joins it.
+pub struct TimerWheelThread {
+    wheel: TimerWheel,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TimerWheel {
+    /// Spawn a wheel whose tick `t` fires at wall time `epoch + t × tick`.
+    pub fn spawn(epoch: Instant, tick: Duration) -> TimerWheelThread {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { wheel: Wheel::new(), sleeping_until: None, shutdown: false }),
+            cond: Condvar::new(),
+        });
+        let wheel = TimerWheel { shared, epoch, tick };
+        let serve = wheel.clone();
+        let handle = std::thread::Builder::new()
+            .name("timer-wheel".into())
+            .spawn(move || serve.serve())
+            .expect("spawn timer wheel thread");
+        TimerWheelThread { wheel, handle: Some(handle) }
+    }
+
+    /// Current wheel time in ticks.
+    pub fn now_tick(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+
+    fn wall_of(&self, tick: u64) -> Instant {
+        let nanos = (self.tick.as_nanos() as u64).saturating_mul(tick);
+        self.epoch + Duration::from_nanos(nanos)
+    }
+
+    /// Register `action` to run on the wheel thread once the wall clock
+    /// reaches tick `fire_tick`. Re-parks the serving thread when this
+    /// deadline is earlier than the one it currently sleeps toward. After
+    /// [`TimerWheelThread::stop`] the action is dropped and never runs.
+    pub fn register(&self, fire_tick: u64, action: impl FnOnce() + Send + 'static) -> WheelId {
+        let mut st = self.shared.state.lock().expect("wheel lock");
+        if st.shutdown {
+            return WheelId::MAX;
+        }
+        let id = st.wheel.insert(fire_tick, Box::new(action));
+        if st.sleeping_until.is_none_or(|t| fire_tick < t) {
+            self.shared.cond.notify_all();
+        }
+        id
+    }
+
+    /// Revoke a pending registration. Returns `false` when the entry
+    /// already fired, was already cancelled, or never existed.
+    pub fn cancel(&self, id: WheelId) -> bool {
+        let mut st = self.shared.state.lock().expect("wheel lock");
+        st.wheel.cancel(id)
+    }
+
+    /// Number of registered-but-unfired entries.
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().expect("wheel lock").wheel.pending
+    }
+
+    /// The serving loop: park until the earliest deadline (or forever when
+    /// idle), wake early only on an earlier registration or shutdown, then
+    /// run every due action in `(fire_tick, seq)` order.
+    fn serve(&self) {
+        let mut st = self.shared.state.lock().expect("wheel lock");
+        loop {
+            if st.shutdown {
+                return;
+            }
+            let due = st.wheel.collect_due(self.now_tick());
+            if !due.is_empty() {
+                drop(st);
+                for e in due {
+                    (e.action)();
+                }
+                st = self.shared.state.lock().expect("wheel lock");
+                continue;
+            }
+            match st.wheel.next_fire_tick() {
+                None => {
+                    st.sleeping_until = None;
+                    st = self.shared.cond.wait(st).expect("wheel wait");
+                }
+                Some(tick) => {
+                    let wall = self.wall_of(tick);
+                    let now = Instant::now();
+                    if wall <= now {
+                        continue; // already due; collect on the next pass
+                    }
+                    st.sleeping_until = Some(tick);
+                    let (guard, _) =
+                        self.shared.cond.wait_timeout(st, wall - now).expect("wheel wait");
+                    st = guard;
+                    st.sleeping_until = None;
+                }
+            }
+        }
+    }
+
+    fn stop(&self) {
+        let mut st = self.shared.state.lock().expect("wheel lock");
+        st.shutdown = true;
+        // Pending actions are discarded, releasing whatever they captured
+        // (inbox senders in particular).
+        st.wheel = Wheel::new();
+        self.shared.cond.notify_all();
+    }
+}
+
+impl TimerWheelThread {
+    /// A cloneable registration handle.
+    pub fn handle(&self) -> TimerWheel {
+        self.wheel.clone()
+    }
+
+    /// Stop serving, discard all pending entries, and join the thread.
+    /// The thread never blocks in actions (they are channel sends), so the
+    /// join is prompt. Idempotent.
+    pub fn stop(&mut self) {
+        self.wheel.stop();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TimerWheelThread {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    fn wheel_ms(ms: u64) -> TimerWheelThread {
+        TimerWheel::spawn(Instant::now(), Duration::from_millis(ms))
+    }
+
+    #[test]
+    fn fires_in_deadline_order_not_registration_order() {
+        let t = wheel_ms(5);
+        let w = t.handle();
+        let (tx, rx) = mpsc::channel();
+        for (tick, tag) in [(6u64, 'c'), (2, 'a'), (4, 'b')] {
+            let tx = tx.clone();
+            w.register(tick, move || {
+                let _ = tx.send(tag);
+            });
+        }
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(rx.recv_timeout(Duration::from_secs(5)).expect("firing"));
+        }
+        assert_eq!(got, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_deadlines_fire_in_registration_order() {
+        let t = wheel_ms(10);
+        let w = t.handle();
+        let (tx, rx) = mpsc::channel();
+        for i in 0..20u32 {
+            let tx = tx.clone();
+            w.register(3, move || {
+                let _ = tx.send(i);
+            });
+        }
+        let got: Vec<u32> =
+            (0..20).map(|_| rx.recv_timeout(Duration::from_secs(5)).expect("firing")).collect();
+        assert_eq!(got, (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn earlier_registration_reparks_the_sleeper() {
+        let t = wheel_ms(5);
+        let w = t.handle();
+        let (tx, rx) = mpsc::channel();
+        // Park toward a deadline far in the future…
+        let tx_far = tx.clone();
+        w.register(1_000_000, move || {
+            let _ = tx_far.send("far");
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // …then register something much earlier; it must fire promptly,
+        // which only happens if the sleeper re-parks on the new deadline.
+        let started = Instant::now();
+        w.register(6, move || {
+            let _ = tx.send("near");
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok("near"));
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "the near deadline must not wait for the far one"
+        );
+    }
+
+    #[test]
+    fn cancellation_suppresses_firing() {
+        let t = wheel_ms(10);
+        let w = t.handle();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let (f1, f2) = (Arc::clone(&fired), Arc::clone(&fired));
+        let cancel_me = w.register(3, move || {
+            f1.fetch_add(100, Ordering::SeqCst);
+        });
+        let (tx, rx) = mpsc::channel();
+        w.register(4, move || {
+            f2.fetch_add(1, Ordering::SeqCst);
+            let _ = tx.send(());
+        });
+        assert!(w.cancel(cancel_me), "entry was pending");
+        assert!(!w.cancel(cancel_me), "double-cancel reports false");
+        rx.recv_timeout(Duration::from_secs(5)).expect("survivor fires");
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "cancelled entry must not fire");
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn distant_deadlines_hash_into_high_levels_and_overflow() {
+        // Pure wheel-structure test (no thread): entries across every
+        // level and the overflow list all collect, in order.
+        let mut wheel = Wheel::new();
+        let ticks = [1u64, 63, 64, 4_000, 300_000, 20_000_000, 1 << 40];
+        for &t in &ticks {
+            wheel.insert(t, Box::new(|| {}));
+        }
+        assert_eq!(wheel.pending, ticks.len());
+        assert_eq!(wheel.next_fire_tick(), Some(1));
+        let due = wheel.collect_due(u64::MAX - 1);
+        let order: Vec<u64> = due.iter().map(|e| e.fire_tick).collect();
+        let mut want = ticks.to_vec();
+        want.sort_unstable();
+        assert_eq!(order, want);
+        assert_eq!(wheel.pending, 0);
+        assert_eq!(wheel.next_fire_tick(), None);
+    }
+
+    #[test]
+    fn partial_collection_leaves_future_entries_pending() {
+        let mut wheel = Wheel::new();
+        wheel.insert(5, Box::new(|| {}));
+        wheel.insert(10, Box::new(|| {}));
+        wheel.insert(700, Box::new(|| {})); // level 1
+        let due = wheel.collect_due(7);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].fire_tick, 5);
+        assert_eq!(wheel.pending, 2);
+        assert_eq!(wheel.next_fire_tick(), Some(10));
+        let due = wheel.collect_due(1000);
+        let order: Vec<u64> = due.iter().map(|e| e.fire_tick).collect();
+        assert_eq!(order, vec![10, 700]);
+    }
+
+    #[test]
+    fn stress_concurrent_registration_loses_and_reorders_nothing() {
+        // 4 registrant threads × 250 entries with jittered deadlines; every
+        // firing must arrive, and per-registrant arrivals with increasing
+        // deadlines must fire in deadline order.
+        let t = wheel_ms(1);
+        let (tx, rx) = mpsc::channel::<(usize, u64)>();
+        let start_tick = t.handle().now_tick();
+        std::thread::scope(|s| {
+            for reg in 0..4usize {
+                let w = t.handle();
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..250u64 {
+                        // Strictly increasing per-registrant deadlines with
+                        // cross-registrant interleaving.
+                        let tick = start_tick + 2 + i * 2 + (reg as u64 % 2);
+                        let tx = tx.clone();
+                        w.register(tick, move || {
+                            let _ = tx.send((reg, tick));
+                        });
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut per_reg: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        for _ in 0..1000 {
+            let (reg, tick) = rx.recv_timeout(Duration::from_secs(60)).expect("no firing lost");
+            per_reg[reg].push(tick);
+        }
+        for (reg, ticks) in per_reg.iter().enumerate() {
+            assert_eq!(ticks.len(), 250, "registrant {reg} lost firings");
+            assert!(
+                ticks.windows(2).all(|w| w[0] <= w[1]),
+                "registrant {reg} saw reordered firings: {ticks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stop_discards_pending_and_joins() {
+        let mut t = wheel_ms(1000);
+        let w = t.handle();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        w.register(1_000_000, move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        t.stop();
+        assert_eq!(w.pending(), 0, "stop discards pending entries");
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        assert_eq!(w.register(1, || {}), WheelId::MAX, "post-stop registration is discarded");
+        t.stop(); // idempotent
+    }
+}

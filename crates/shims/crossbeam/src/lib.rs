@@ -21,6 +21,11 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// Receivers currently blocked in a condvar wait. Senders skip the
+        /// notify (a futex syscall on Linux even when nobody waits) while
+        /// this is zero — the dominant case under load, where receivers
+        /// drain bursts without ever parking.
+        waiting: usize,
     }
 
     /// Sending half; cloneable, usable from any thread.
@@ -62,7 +67,12 @@ pub mod channel {
     /// Create an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                waiting: 0,
+            }),
             cond: Condvar::new(),
         });
         (Sender { shared: shared.clone() }, Receiver { shared })
@@ -99,16 +109,33 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Append `msg` to the queue, waking one waiting receiver.
+        /// Append `msg` to the queue, waking one waiting receiver (the
+        /// notify is skipped entirely when no receiver is parked).
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            if self.send_quiet(msg)? {
+                self.shared.cond.notify_one();
+            }
+            Ok(())
+        }
+
+        /// Append `msg` without waking anyone; returns whether a receiver
+        /// is parked and needs a [`Sender::wake`]. Lets a producer with a
+        /// burst of sends to several channels publish everything first and
+        /// issue the wakeups at the end, after the last message is
+        /// visible — on a loaded single core this avoids being preempted
+        /// by the first consumer while later messages are still unsent.
+        pub fn send_quiet(&self, msg: T) -> Result<bool, SendError<T>> {
             let mut inner = self.shared.inner.lock().unwrap();
             if inner.receivers == 0 {
                 return Err(SendError(msg));
             }
             inner.queue.push_back(msg);
-            drop(inner);
+            Ok(inner.waiting > 0)
+        }
+
+        /// Wake one parked receiver; pairs with [`Sender::send_quiet`].
+        pub fn wake(&self) {
             self.shared.cond.notify_one();
-            Ok(())
         }
     }
 
@@ -123,7 +150,9 @@ pub mod channel {
                 if inner.senders == 0 {
                     return Err(RecvError);
                 }
+                inner.waiting += 1;
                 inner = self.shared.cond.wait(inner).unwrap();
+                inner.waiting -= 1;
             }
         }
 
@@ -158,8 +187,10 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
+                inner.waiting += 1;
                 let (guard, _res) = self.shared.cond.wait_timeout(inner, deadline - now).unwrap();
                 inner = guard;
+                inner.waiting -= 1;
             }
         }
 
