@@ -2,16 +2,21 @@
 //!
 //! ```text
 //! harness all            # every experiment (default scale)
-//! harness e1 … e15       # one experiment
+//! harness e1 … e17       # one experiment
 //! harness ablations      # the ablation tables
 //! harness quick          # all experiments at reduced scale (CI-sized)
 //! harness load           # E15 sustained-load run; writes BENCH_e15.json
 //! harness explore        # E16 exhaustive schedule exploration
+//! harness mobile         # E17 mobile-Byzantine frontier; writes BENCH_e17.json
 //! ```
 //!
 //! `load` accepts `--clients N` (default 4), `--ops N` (default 400) and
 //! `--quick` (smaller op counts); it always writes `BENCH_e15.json` to the
 //! current directory.
+//!
+//! `mobile` (alias `e17`) sweeps n/f/movement-rate/movement-mode on both
+//! substrates and writes the frontier to `BENCH_e17.json`; `--quick`
+//! runs the 3-cell CI smoke instead of the full grid.
 //!
 //! `explore` (alias `e16`) accepts `--quick` (smaller fork depth) and
 //! writes the found-and-shrunk Theorem 1 counterexample to
@@ -137,6 +142,15 @@ fn main() {
             }
         }
     }
+    if want("e17") || arg == "mobile" {
+        let cells = e17_mobile::run_cells(quick);
+        emit(e17_mobile::table(&cells));
+        let json = e17_mobile::to_json(&cells);
+        match std::fs::write("BENCH_e17.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_e17.json ({} cells)", cells.len()),
+            Err(e) => eprintln!("could not write BENCH_e17.json: {e}"),
+        }
+    }
     if want("ablations") {
         emit(ablations::ablate_selection(seeds.min(5)));
         emit(ablations::ablate_union(seeds.min(5)));
@@ -145,7 +159,7 @@ fn main() {
 
     if !printed {
         eprintln!(
-            "unknown experiment {arg:?}; use all | quick | e1..e16 | load | explore | ablations [--csv|--quick|--clients N|--replay FILE]"
+            "unknown experiment {arg:?}; use all | quick | e1..e17 | load | explore | mobile | ablations [--csv|--quick|--clients N|--replay FILE]"
         );
         std::process::exit(2);
     }

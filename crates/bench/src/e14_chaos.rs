@@ -1,6 +1,6 @@
 //! **E14 — chaos soak under the nemesis**: long seeded fault schedules
 //! (crash+restart, partition, flaky links, transient corruption, mobile
-//! Byzantine relocation) against a live read/write workload with the
+//! Byzantine seat movement) against a live read/write workload with the
 //! client retry policy engaged, on both substrate backends.
 //!
 //! The claim under test is the composition of the paper's guarantees with
@@ -8,9 +8,18 @@
 //! window** — every interval that starts at the first completed write
 //! after all disturbances healed and ends when the next disturbance
 //! fires. Operations overlapping a disturbance may abort, time out, or
-//! exhaust their retries (tallied, not failed), but once the *last* fault
-//! heals, a write and a read must complete and the recorded history
-//! restricted to the stable windows must show zero violations.
+//! exhaust their retries (tallied distinctly, not failed), but once the
+//! *last* fault heals, a write and a read must complete and the recorded
+//! history restricted to the stable windows must show zero violations.
+//!
+//! Seat movement is the mobile-Byzantine regime: the `move-byz` windows
+//! relocate the adversary to an honest server and the vacated seat
+//! rejoins **cured-but-amnesiac** ([`CureMode::Amnesiac`]) — state
+//! re-corrupted to an arbitrary configuration, so it must re-run
+//! stabilization. The [`WindowTracker`] therefore treats every cure as
+//! window-closing until the next completed all-clear write converges the
+//! rejoiner (Assumption A1), even though the movement itself recovers
+//! instantly.
 //!
 //! Disturbance windows are serialized by the schedule generator (at most
 //! one honest server is disturbed at any time), so the `f = 1` resilience
@@ -19,27 +28,20 @@
 //! completed write on `≥ 3f + 1` honest servers of which at least
 //! `2f + 1` answer any read quorum.
 
-use sbft_core::adversary::{random_message, ByzServer, ByzStrategy};
-use sbft_core::cluster::{AnyRegisterSubstrate, OpOutcome, RegisterCluster};
-use sbft_core::messages::{ClientEvent, Msg};
-use sbft_core::server::Server;
-use sbft_core::{RetryPolicy, Ts};
-use sbft_labels::BoundedLabeling;
-use sbft_net::nemesis::{AutomatonFactory, NemesisOpts, NemesisRunner, NemesisSchedule};
-use sbft_net::{Automaton, Backend};
+use sbft_core::adversary::ByzStrategy;
+use sbft_core::cluster::{OpOutcome, RegisterCluster};
+use sbft_core::{RetryPolicy, WindowTracker};
+use sbft_net::nemesis::{CureMode, NemesisOpts, NemesisSchedule};
+use sbft_net::{Backend, CorruptionSeverity};
 
 use crate::table::Table;
-
-type B = BoundedLabeling;
-type M = Msg<Ts<B>>;
-type O = ClientEvent<Ts<B>>;
 
 /// Safety cap on workload rounds per seed.
 const MAX_ROUNDS: u64 = 4_000;
 
 /// Nemesis event kinds that open a disturbance window.
-const DISTURBANCE_KINDS: [&str; 5] =
-    ["crash", "partition", "link-fault", "corrupt", "relocate-byz"];
+const DISTURBANCE_KINDS: [&str; 6] =
+    ["crash", "partition", "link-fault", "corrupt", "relocate-byz", "move-byz"];
 
 /// Aggregated chaos-soak measurements for one backend.
 #[derive(Clone, Debug)]
@@ -52,16 +54,18 @@ pub struct E14Cell {
     pub events_fired: u64,
     /// Minimum distinct disturbance kinds fired by any one schedule.
     pub min_distinct_kinds: usize,
-    /// Completed writes / reads.
+    /// Completed writes.
     pub writes_ok: u64,
     /// Completed reads.
     pub reads_ok: u64,
-    /// Read aborts surfaced (single-attempt policies only; 0 here).
+    /// Reads that aborted (split replies, no `2f+1` witness, union off).
     pub aborted: u64,
     /// Operations that died on a lone deadline (or a stuck driver).
     pub timed_out: u64,
     /// Operations that burned through every retry.
     pub exhausted: u64,
+    /// Amnesiac cures observed (servers vacated by the roaming seat).
+    pub cures: u64,
     /// Heals observed (disturbance windows closed).
     pub heals: u64,
     /// Summed time from each heal to the next fully-successful round.
@@ -101,6 +105,7 @@ pub fn run_backend(backend: Backend, seeds: u64) -> E14Cell {
         aborted: 0,
         timed_out: 0,
         exhausted: 0,
+        cures: 0,
         heals: 0,
         reconverge_ticks: 0,
         post_heal_failures: 0,
@@ -126,29 +131,31 @@ fn run_seed(cell: &mut E14Cell, backend: Backend, seed: u64, strat: ByzStrategy)
         .backend(backend)
         .retry(RetryPolicy::chaos())
         .build_any();
+    let total_procs = c.cfg.n + 2;
     let opts = NemesisOpts {
         servers: c.cfg.n,
-        total_procs: c.cfg.n + 2,
-        byz_seat: Some(byz_seat),
+        total_procs,
+        byz_seats: vec![byz_seat],
         ..NemesisOpts::default()
     };
     let schedule = NemesisSchedule::random(seed, &opts);
-    let mut runner = make_runner(&c, schedule, byz_seat, strat);
+    let mut runner = c
+        .nemesis_runner(schedule, vec![byz_seat], strat)
+        .cure_mode(CureMode::Amnesiac { total_procs, severity: CorruptionSeverity::Light });
 
     let (w, r) = (c.client(0), c.client(1));
     let mut value = 1u64;
-    // Stable-window bookkeeping: a window opens at the first completed
-    // write with no disturbance active, and closes the moment the next
-    // disturbance fires.
-    let mut stable_open: Option<u64> = None;
-    let mut windows: Vec<(u64, u64)> = Vec::new();
+    // Cure-aware stable-window bookkeeping: a window opens at a completed
+    // all-clear write, closes at the next disturbance *or* amnesiac cure.
+    let mut tracker = WindowTracker::new();
     let mut clears_consumed = 0usize;
+    let mut cures_consumed = 0usize;
 
     // Seed the register (and the first stable window) before the chaos.
     let first = c.write_outcome(w, value);
     cell.tally(&first, true);
     if first.is_ok() {
-        stable_open = Some(c.now());
+        tracker.write_completed(c.now(), true);
     }
 
     let mut rounds = 0u64;
@@ -158,12 +165,13 @@ fn run_seed(cell: &mut E14Cell, backend: Backend, seed: u64, strat: ByzStrategy)
         let fired_from = runner.log.len();
         runner.fire_due(&mut c.sim);
         if runner.log[fired_from..].iter().any(|(_, k)| DISTURBANCE_KINDS.contains(k)) {
-            if let Some(start) = stable_open.take() {
-                let end = c.now();
-                if end > start {
-                    windows.push((start, end));
-                }
-            }
+            tracker.disturbance(c.now());
+        }
+        while cures_consumed < runner.cures.len() {
+            let (at, pid) = runner.cures[cures_consumed];
+            tracker.cured(pid, at.max(c.now()));
+            cures_consumed += 1;
+            cell.cures += 1;
         }
 
         value += 1;
@@ -172,8 +180,8 @@ fn run_seed(cell: &mut E14Cell, backend: Backend, seed: u64, strat: ByzStrategy)
         let rout = c.read_outcome(r);
         cell.tally(&rout, false);
 
-        if wout.is_ok() && runner.all_clear() && stable_open.is_none() {
-            stable_open = Some(c.now());
+        if wout.is_ok() {
+            tracker.write_completed(c.now(), runner.all_clear());
         }
         if wout.is_ok() && rout.is_ok() && runner.all_clear() {
             while clears_consumed < runner.clear_times.len() {
@@ -202,14 +210,11 @@ fn run_seed(cell: &mut E14Cell, backend: Backend, seed: u64, strat: ByzStrategy)
     if !wout.is_ok() || !rout.is_ok() {
         cell.post_heal_failures += 1;
     }
-    if wout.is_ok() && stable_open.is_none() {
-        stable_open = Some(c.now());
+    if wout.is_ok() {
+        tracker.write_completed(c.now(), runner.all_clear());
     }
     c.settle(200_000);
-    if let Some(start) = stable_open.take() {
-        windows.push((start, u64::MAX));
-    }
-    for (start, end) in windows {
+    for (start, end) in tracker.finish(u64::MAX) {
         if let Err(errs) = c.recorder.check_window(&c.sys, start, end) {
             cell.violations += errs.len();
         }
@@ -219,30 +224,10 @@ fn run_seed(cell: &mut E14Cell, backend: Backend, seed: u64, strat: ByzStrategy)
     c.stop();
 }
 
-fn make_runner(
-    c: &RegisterCluster<B, AnyRegisterSubstrate<B>>,
-    schedule: NemesisSchedule,
-    byz_seat: usize,
-    strat: ByzStrategy,
-) -> NemesisRunner<M, O> {
-    let cfg = c.cfg;
-    let sys_h = c.sys.clone();
-    let make_honest: AutomatonFactory<M, O> =
-        Box::new(move |_pid| Box::new(Server::new(sys_h.clone(), cfg)) as Box<dyn Automaton<M, O>>);
-    let sys_b = c.sys.clone();
-    let make_byz: AutomatonFactory<M, O> = Box::new(move |_pid| {
-        Box::new(ByzServer::new(sys_b.clone(), cfg, strat)) as Box<dyn Automaton<M, O>>
-    });
-    let sys_g = c.sys.clone();
-    let garbage =
-        Box::new(move |rng: &mut rand::rngs::StdRng| random_message::<B>(&sys_g, &cfg, rng));
-    NemesisRunner::new(schedule, make_honest, Some(make_byz), Some(byz_seat), garbage)
-}
-
 /// The E14 table: one row per backend.
 pub fn run(sim_seeds: u64, threaded_seeds: u64) -> Table {
     let mut t = Table::new(
-        "E14: chaos soak — seeded nemesis schedules vs. retrying clients (f = 1, byz seat mobile)",
+        "E14: chaos soak — seeded nemesis schedules vs. retrying clients (f = 1, amnesiac mobile byz seat)",
         &[
             "backend",
             "seeds",
@@ -250,8 +235,10 @@ pub fn run(sim_seeds: u64, threaded_seeds: u64) -> Table {
             "distinct kinds (min)",
             "writes ok",
             "reads ok",
+            "aborted",
             "timed out",
             "exhausted",
+            "cures",
             "heals",
             "mean reconverge",
             "post-heal failures",
@@ -267,8 +254,10 @@ pub fn run(sim_seeds: u64, threaded_seeds: u64) -> Table {
             c.min_distinct_kinds.to_string(),
             c.writes_ok.to_string(),
             c.reads_ok.to_string(),
+            c.aborted.to_string(),
             c.timed_out.to_string(),
             c.exhausted.to_string(),
+            c.cures.to_string(),
             c.heals.to_string(),
             c.mean_reconverge().to_string(),
             c.post_heal_failures.to_string(),
@@ -281,6 +270,7 @@ pub fn run(sim_seeds: u64, threaded_seeds: u64) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sbft_core::reader::ReaderOptions;
 
     #[test]
     fn sim_soak_has_zero_stable_window_violations() {
@@ -290,6 +280,7 @@ mod tests {
         assert!(cell.min_distinct_kinds >= 5, "{cell:?}");
         assert!(cell.writes_ok > 0 && cell.reads_ok > 0, "{cell:?}");
         assert!(cell.heals > 0, "{cell:?}");
+        assert!(cell.cures > 0, "amnesiac seat movement never fired: {cell:?}");
     }
 
     #[test]
@@ -298,5 +289,112 @@ mod tests {
         assert_eq!(cell.violations, 0, "{cell:?}");
         assert_eq!(cell.post_heal_failures, 0, "{cell:?}");
         assert!(cell.events_fired > 0, "{cell:?}");
+    }
+
+    // --- OpOutcome accounting regressions -------------------------------
+    //
+    // Each test manufactures exactly one failure mode and pins the tally
+    // column it lands in, so the soak summary can never silently fold one
+    // outcome into another again.
+
+    fn fresh_cell() -> E14Cell {
+        E14Cell {
+            backend: Backend::Sim,
+            seeds: 1,
+            events_fired: 0,
+            min_distinct_kinds: 0,
+            writes_ok: 0,
+            reads_ok: 0,
+            aborted: 0,
+            timed_out: 0,
+            exhausted: 0,
+            cures: 0,
+            heals: 0,
+            reconverge_ticks: 0,
+            post_heal_failures: 0,
+            violations: 0,
+        }
+    }
+
+    #[test]
+    fn timed_out_is_tallied_distinctly() {
+        // Single attempt + deadline, quorum broken by two crashed servers:
+        // the lone attempt dies on its deadline -> TimedOut, not Exhausted.
+        let mut c = RegisterCluster::bounded(1)
+            .seed(7)
+            .retry(RetryPolicy { max_attempts: 1, deadline: 300, backoff_base: 0, backoff_max: 0 })
+            .build();
+        let w = c.client(0);
+        c.sim.crash(0);
+        c.sim.crash(1);
+        let out = c.write_outcome(w, 1);
+        assert!(matches!(out, OpOutcome::TimedOut { .. }), "{out:?}");
+        let mut cell = fresh_cell();
+        cell.tally(&out, true);
+        assert_eq!(
+            (cell.timed_out, cell.exhausted, cell.aborted, cell.writes_ok),
+            (1, 0, 0, 0),
+            "{cell:?}"
+        );
+    }
+
+    #[test]
+    fn exhausted_is_tallied_distinctly() {
+        // Two attempts, quorum still broken: both die on deadlines and the
+        // retry budget burns out -> Exhausted, not TimedOut.
+        let mut c = RegisterCluster::bounded(1)
+            .seed(7)
+            .retry(RetryPolicy {
+                max_attempts: 2,
+                deadline: 300,
+                backoff_base: 10,
+                backoff_max: 20,
+            })
+            .build();
+        let w = c.client(0);
+        c.sim.crash(0);
+        c.sim.crash(1);
+        let out = c.write_outcome(w, 1);
+        assert!(matches!(out, OpOutcome::Exhausted { .. }), "{out:?}");
+        let mut cell = fresh_cell();
+        cell.tally(&out, true);
+        assert_eq!(
+            (cell.timed_out, cell.exhausted, cell.aborted, cell.writes_ok),
+            (0, 1, 0, 0),
+            "{cell:?}"
+        );
+    }
+
+    #[test]
+    fn aborted_is_tallied_distinctly() {
+        // Union fallback disabled + heavy state corruption: replies split
+        // below the 2f+1 witness threshold and the single-attempt read
+        // aborts -> Aborted, not a timeout.
+        let mut c = RegisterCluster::bounded(1)
+            .seed(11)
+            .reader_options(ReaderOptions { use_union: false, ..ReaderOptions::default() })
+            .retry(RetryPolicy::none())
+            .build();
+        let (w, r) = (c.client(0), c.client(1));
+        assert!(c.write_outcome(w, 1).is_ok());
+        let mut aborted = None;
+        for round in 0..40 {
+            c.corrupt_servers(&[0, 1, 2], sbft_net::CorruptionSeverity::Adversarial);
+            let out = c.read_outcome(r);
+            if matches!(out, OpOutcome::Aborted) {
+                aborted = Some(out);
+                break;
+            }
+            // Re-seed a coherent value before the next corruption round.
+            let _ = c.write_outcome(w, 2 + round);
+        }
+        let out = aborted.expect("no corrupted read aborted in 40 rounds");
+        let mut cell = fresh_cell();
+        cell.tally(&out, false);
+        assert_eq!(
+            (cell.timed_out, cell.exhausted, cell.aborted, cell.reads_ok),
+            (0, 0, 1, 0),
+            "{cell:?}"
+        );
     }
 }

@@ -22,6 +22,7 @@ pub mod e13_kv_store;
 pub mod e14_chaos;
 pub mod e15_load;
 pub mod e16_explore;
+pub mod e17_mobile;
 pub mod e1_lower_bound;
 pub mod e2_termination;
 pub mod e3_propagation;

@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 
 use sbft_labels::{BoundedLabeling, LabelingSystem, MwmrLabeling, UnboundedLabeling};
 use sbft_net::corruption::FaultPlan;
+use sbft_net::nemesis::{AutomatonFactory, NemesisRunner, NemesisSchedule};
 use sbft_net::substrate::{AnySubstrate, Backend, Substrate, SubstrateConfig};
 use sbft_net::{
     Automaton, CorruptionSeverity, DelayModel, NetMetrics, ProcessId, Simulation, ThreadedCluster,
@@ -584,6 +585,35 @@ where
         ev: &ClientEvent<Ts<B>>,
     ) -> Option<usize> {
         self.recorder.complete(pid, time, ev)
+    }
+
+    /// Build a [`NemesisRunner`] wired to this cluster: honest restarts
+    /// spawn fresh [`Server`]s, Byzantine seats spawn [`ByzServer`]s with
+    /// `strat`, and corruption garbage is drawn from the cluster's
+    /// labeling system. `byz_seats` is the initial seat set — it must
+    /// match the seats the cluster was *built* with (e.g.
+    /// [`ClusterBuilder::byzantine_tail`]), since the runner only tracks
+    /// movement from there. The one place seat bookkeeping is defined,
+    /// shared by the chaos soak, the mobile frontier, and tests.
+    pub fn nemesis_runner(
+        &self,
+        schedule: NemesisSchedule,
+        byz_seats: Vec<ProcessId>,
+        strat: ByzStrategy,
+    ) -> NemesisRunner<Msg<Ts<B>>, ClientEvent<Ts<B>>> {
+        let cfg = self.cfg;
+        let sys_h = self.sys.clone();
+        let make_honest: AutomatonFactory<Msg<Ts<B>>, ClientEvent<Ts<B>>> = Box::new(move |_pid| {
+            Box::new(Server::new(sys_h.clone(), cfg)) as Box<dyn Automaton<_, _>>
+        });
+        let sys_b = self.sys.clone();
+        let make_byz: AutomatonFactory<Msg<Ts<B>>, ClientEvent<Ts<B>>> = Box::new(move |_pid| {
+            Box::new(ByzServer::new(sys_b.clone(), cfg, strat)) as Box<dyn Automaton<_, _>>
+        });
+        let sys_g = self.sys.clone();
+        let garbage =
+            Box::new(move |rng: &mut rand::rngs::StdRng| random_message::<B>(&sys_g, &cfg, rng));
+        NemesisRunner::new_multi(schedule, make_honest, Some(make_byz), byz_seats, garbage)
     }
 }
 

@@ -62,7 +62,7 @@ pub use cluster::{OpOutcome, RegisterCluster};
 pub use config::ClusterConfig;
 pub use messages::{ClientEvent, Msg, Value};
 pub use retry::RetryPolicy;
-pub use spec::{HistoryRecorder, RegularityError};
+pub use spec::{HistoryRecorder, RegularityError, WindowTracker};
 
 use sbft_labels::{LabelingSystem, MwmrTimestamp};
 

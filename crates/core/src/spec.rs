@@ -501,6 +501,89 @@ impl<B: LabelingSystem> HistoryRecorder<B> {
     }
 }
 
+/// Cure-aware stable-window bookkeeping for nemesis-disturbed runs.
+///
+/// Chaos drivers hand the resulting `(start, end)` windows to
+/// [`HistoryRecorder::check_window`]. The rules:
+///
+/// * A window **opens** at a completed write while the nemesis is
+///   all-clear (the paper's Assumption 1 anchor: that write's value is
+///   propagated to every correct server).
+/// * A **disturbance** closes any open window.
+/// * A **cure** — a server vacated by a mobile-Byzantine seat rejoining
+///   amnesiac — *also* closes any open window, even though the nemesis
+///   reports all-clear the moment the seat lands: the cured server is
+///   unconverged, so there are transiently `f + 1` servers (the new seat
+///   plus the amnesiac rejoiner) whose state cannot be trusted, which is
+///   outside the proof's fault budget. The cured server counts as
+///   *unstable* until the next completed all-clear write converges it
+///   (Assumption A1: a completed stabilizing write propagates its value
+///   to all correct servers, wiping the arbitrary state). Only then may
+///   a window reopen.
+///
+/// Without the cure rule, ops concurrent with an amnesiac rejoin would
+/// be scrutinized as if the cluster were stable — exactly the reads the
+/// mobile-Byzantine model says may legitimately return garbage.
+#[derive(Debug, Default)]
+pub struct WindowTracker {
+    open: Option<u64>,
+    windows: Vec<(u64, u64)>,
+    unconverged: std::collections::BTreeSet<ProcessId>,
+}
+
+impl WindowTracker {
+    /// A tracker with no open window and no unconverged servers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A disturbance fired at `now`: close any open window.
+    pub fn disturbance(&mut self, now: u64) {
+        if let Some(start) = self.open.take() {
+            if now > start {
+                self.windows.push((start, now));
+            }
+        }
+    }
+
+    /// Server `pid` rejoined cured-but-amnesiac at `now`: close any open
+    /// window and mark `pid` unconverged until the next completed
+    /// all-clear write.
+    pub fn cured(&mut self, pid: ProcessId, now: u64) {
+        self.disturbance(now);
+        self.unconverged.insert(pid);
+    }
+
+    /// A write completed at `now`; `all_clear` is the nemesis runner's
+    /// current disturbance-window state. If all-clear, the write
+    /// converges every cured server (A1) and opens a window if none is
+    /// open.
+    pub fn write_completed(&mut self, now: u64, all_clear: bool) {
+        if all_clear {
+            self.unconverged.clear();
+            if self.open.is_none() {
+                self.open = Some(now);
+            }
+        }
+    }
+
+    /// Servers cured since the last converging write.
+    pub fn unconverged(&self) -> &std::collections::BTreeSet<ProcessId> {
+        &self.unconverged
+    }
+
+    /// Whether a stable window is currently open.
+    pub fn is_open(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Close any open window at `end` and return all recorded windows.
+    pub fn finish(mut self, end: u64) -> Vec<(u64, u64)> {
+        self.disturbance(end);
+        self.windows
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -808,5 +891,45 @@ mod tests {
         h.begin(11, OpKind::Read, 10);
         assert!(h.check(&s).is_ok());
         assert_eq!(h.completed_writes(), 0);
+    }
+
+    #[test]
+    fn window_tracker_opens_on_all_clear_write_and_closes_on_disturbance() {
+        let mut t = WindowTracker::new();
+        t.write_completed(10, true);
+        assert!(t.is_open());
+        t.disturbance(50);
+        assert!(!t.is_open());
+        // A write under disturbance does not reopen.
+        t.write_completed(60, false);
+        assert!(!t.is_open());
+        t.write_completed(80, true);
+        assert_eq!(t.finish(100), vec![(10, 50), (80, 100)]);
+    }
+
+    #[test]
+    fn window_tracker_cure_closes_window_until_converging_write() {
+        let mut t = WindowTracker::new();
+        t.write_completed(10, true);
+        // Seat moves off server 3 at t=40: nemesis is all-clear again
+        // immediately (movement is instantaneous), but the cured server
+        // is unconverged — the window must close anyway.
+        t.cured(3, 40);
+        assert!(!t.is_open());
+        assert!(t.unconverged().contains(&3));
+        // The next completed all-clear write converges it and reopens.
+        t.write_completed(70, true);
+        assert!(t.is_open());
+        assert!(t.unconverged().is_empty());
+        assert_eq!(t.finish(90), vec![(10, 40), (70, 90)]);
+    }
+
+    #[test]
+    fn window_tracker_drops_empty_windows() {
+        let mut t = WindowTracker::new();
+        t.write_completed(10, true);
+        t.disturbance(10); // zero-length: not recorded
+        t.write_completed(20, true);
+        assert_eq!(t.finish(30), vec![(20, 30)]);
     }
 }

@@ -35,6 +35,7 @@
 pub mod channel;
 pub mod corruption;
 pub mod metrics;
+pub mod mobile;
 pub mod nemesis;
 pub mod process;
 pub mod sim;
@@ -46,8 +47,10 @@ pub mod trace;
 pub use channel::{DelayModel, Scheduled};
 pub use corruption::CorruptionSeverity;
 pub use metrics::{LatencyHistogram, NetMetrics};
+pub use mobile::{mobile_schedule, MobileOpts, MovementMode};
 pub use nemesis::{
-    AutomatonFactory, LinkFault, NemesisEvent, NemesisOpts, NemesisRunner, NemesisSchedule,
+    AutomatonFactory, CureMode, LinkFault, NemesisEvent, NemesisOpts, NemesisRunner,
+    NemesisSchedule,
 };
 pub use process::{Automaton, Ctx, ProcessId, ENV};
 pub use sim::{EventKey, SimConfig, SimEvent, Simulation};
