@@ -2,12 +2,13 @@
 //!
 //! ```text
 //! harness all            # every experiment (default scale)
-//! harness e1 … e17       # one experiment
+//! harness e1 … e18       # one experiment
 //! harness ablations      # the ablation tables
 //! harness quick          # all experiments at reduced scale (CI-sized)
 //! harness load           # E15 sustained-load run; writes BENCH_e15.json
 //! harness explore        # E16 exhaustive schedule exploration
 //! harness mobile         # E17 mobile-Byzantine frontier; writes BENCH_e17.json
+//! harness recover        # E18 damaged-disk crash recovery; writes BENCH_e18.json
 //! ```
 //!
 //! `load` accepts `--clients N` (default 4), `--ops N` (default 400) and
@@ -17,6 +18,11 @@
 //! `mobile` (alias `e17`) sweeps n/f/movement-rate/movement-mode on both
 //! substrates and writes the frontier to `BENCH_e17.json`; `--quick`
 //! runs the 3-cell CI smoke instead of the full grid.
+//!
+//! `recover` (alias `e18`) sweeps disk-fault kind × crash rate ×
+//! `n ∈ {5f, 5f+1}` with every crashed server rebooted from its own
+//! damaged disk, and writes the sweep to `BENCH_e18.json`; `--quick`
+//! runs the 4-cell CI smoke instead of the full grid.
 //!
 //! `explore` (alias `e16`) accepts `--quick` (smaller fork depth) and
 //! writes the found-and-shrunk Theorem 1 counterexample to
@@ -151,6 +157,15 @@ fn main() {
             Err(e) => eprintln!("could not write BENCH_e17.json: {e}"),
         }
     }
+    if want("e18") || arg == "recover" {
+        let cells = e18_recover::run_cells(quick);
+        emit(e18_recover::table(&cells));
+        let json = e18_recover::to_json(&cells);
+        match std::fs::write("BENCH_e18.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_e18.json ({} cells)", cells.len()),
+            Err(e) => eprintln!("could not write BENCH_e18.json: {e}"),
+        }
+    }
     if want("ablations") {
         emit(ablations::ablate_selection(seeds.min(5)));
         emit(ablations::ablate_union(seeds.min(5)));
@@ -159,7 +174,7 @@ fn main() {
 
     if !printed {
         eprintln!(
-            "unknown experiment {arg:?}; use all | quick | e1..e17 | load | explore | mobile | ablations [--csv|--quick|--clients N|--replay FILE]"
+            "unknown experiment {arg:?}; use all | quick | e1..e18 | load | explore | mobile | recover | ablations [--csv|--quick|--clients N|--replay FILE]"
         );
         std::process::exit(2);
     }

@@ -1,7 +1,13 @@
 //! **E14 — chaos soak under the nemesis**: long seeded fault schedules
-//! (crash+restart, partition, flaky links, transient corruption, mobile
-//! Byzantine seat movement) against a live read/write workload with the
-//! client retry policy engaged, on both substrate backends.
+//! (crash+damaged-disk recovery, partition, flaky links, transient
+//! corruption, mobile Byzantine seat movement) against a live read/write
+//! workload with the client retry policy engaged, on both substrate
+//! backends. Clusters are **durable**: every crash window reboots its
+//! server from the server's own stable disk with a rotating
+//! [`sbft_storage::DiskFault`] applied at crash time, so the soak mixes
+//! real damaged-disk recovery ([`sbft_net::nemesis::NemesisEvent::CrashRecover`]) into the
+//! chaos pool — a rebooted server counts as a cure (it may carry stale
+//! state) until the next all-clear write converges it.
 //!
 //! The claim under test is the composition of the paper's guarantees with
 //! crash-recovery and link faults: **regularity holds in every stable
@@ -127,6 +133,7 @@ fn run_seed(cell: &mut E14Cell, backend: Backend, seed: u64, strat: ByzStrategy)
     let mut c = RegisterCluster::bounded(1)
         .clients(2)
         .byzantine(byz_seat, strat)
+        .durable()
         .seed(seed)
         .backend(backend)
         .retry(RetryPolicy::chaos())

@@ -23,6 +23,7 @@ pub mod e14_chaos;
 pub mod e15_load;
 pub mod e16_explore;
 pub mod e17_mobile;
+pub mod e18_recover;
 pub mod e1_lower_bound;
 pub mod e2_termination;
 pub mod e3_propagation;

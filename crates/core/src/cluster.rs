@@ -27,6 +27,7 @@ use sbft_net::substrate::{AnySubstrate, Backend, Substrate, SubstrateConfig};
 use sbft_net::{
     Automaton, CorruptionSeverity, DelayModel, NetMetrics, ProcessId, Simulation, ThreadedCluster,
 };
+use sbft_storage::DiskSet;
 
 use crate::adversary::{random_message, ByzServer, ByzStrategy, ScriptedServer};
 use crate::byzclient::{ByzClient, ByzReaderStrategy};
@@ -147,6 +148,7 @@ pub struct ClusterBuilder<B: LabelingSystem> {
     retry: RetryPolicy,
     backend: Backend,
     pump_timeout: Option<std::time::Duration>,
+    durable: bool,
 }
 
 impl<B: LabelingSystem> ClusterBuilder<B> {
@@ -166,7 +168,20 @@ impl<B: LabelingSystem> ClusterBuilder<B> {
             retry: RetryPolicy::none(),
             backend: Backend::Sim,
             pump_timeout: None,
+            durable: false,
         }
+    }
+
+    /// Give every honest server a simulated disk: applied writes persist,
+    /// and the cluster can reboot crashed servers *from their own
+    /// (possibly damaged) storage* via
+    /// [`sbft_net::NemesisEvent::CrashRecover`] — see
+    /// [`RegisterCluster::disks`]. Disk seeds derive from the cluster
+    /// seed, so identical builds produce byte-identical disks on either
+    /// backend.
+    pub fn durable(mut self) -> Self {
+        self.durable = true;
+        self
     }
 
     /// Number of clients to attach (default 2).
@@ -259,17 +274,25 @@ impl<B: LabelingSystem> ClusterBuilder<B> {
         }
     }
 
-    /// The automata, in pid order, plus the hostile clients' pids.
-    fn procs(&self) -> (RegisterProcs<B>, Vec<ProcessId>) {
+    /// The automata, in pid order, plus the hostile clients' pids and the
+    /// per-server disks (when the cluster is durable).
+    fn procs(&self) -> (RegisterProcs<B>, Vec<ProcessId>, Option<DiskSet>) {
         let sys: Sys<B> = MwmrLabeling::new(self.base.clone());
+        let disks = self.durable.then(|| DiskSet::sim(self.cfg.n, self.seed ^ 0xD15C_D15C));
         let mut procs: RegisterProcs<B> = Vec::new();
         for s in 0..self.cfg.n {
             if self.scripted.contains(&s) {
                 procs.push(Box::new(ScriptedServer::<B>::new(sys.clone())));
             } else if let Some(&strategy) = self.byz.get(&s) {
+                // Adversaries don't persist: their seat's disk stays empty
+                // (or stale), which is itself a realistic recovery input.
                 procs.push(Box::new(ByzServer::new(sys.clone(), self.cfg, strategy)));
             } else {
-                procs.push(Box::new(Server::new(sys.clone(), self.cfg)));
+                let mut server = Server::new(sys.clone(), self.cfg);
+                if let Some(disks) = &disks {
+                    server = server.with_disk(disks.get(s));
+                }
+                procs.push(Box::new(server));
             }
         }
         for c in 0..self.n_clients {
@@ -287,10 +310,15 @@ impl<B: LabelingSystem> ClusterBuilder<B> {
             hostile_pids.push(procs.len());
             procs.push(Box::new(ByzClient::new(sys.clone(), self.cfg, *strategy)));
         }
-        (procs, hostile_pids)
+        (procs, hostile_pids, disks)
     }
 
-    fn assemble<S>(self, sim: S, hostile_pids: Vec<ProcessId>) -> RegisterCluster<B, S> {
+    fn assemble<S>(
+        self,
+        sim: S,
+        hostile_pids: Vec<ProcessId>,
+        disks: Option<DiskSet>,
+    ) -> RegisterCluster<B, S> {
         RegisterCluster {
             sim,
             cfg: self.cfg,
@@ -299,29 +327,30 @@ impl<B: LabelingSystem> ClusterBuilder<B> {
             hostile_pids,
             recorder: HistoryRecorder::new(),
             op_budget: 400_000,
+            disks,
         }
     }
 
     /// Assemble the cluster on the deterministic simulator.
     pub fn build(self) -> RegisterCluster<B> {
-        let (procs, hostile_pids) = self.procs();
+        let (procs, hostile_pids, disks) = self.procs();
         let sim = Simulation::from_procs(procs, &self.substrate_config());
-        self.assemble(sim, hostile_pids)
+        self.assemble(sim, hostile_pids, disks)
     }
 
     /// Assemble the cluster on the threaded runtime.
     pub fn build_threaded(self) -> RegisterCluster<B, ThreadedSubstrate<B>> {
-        let (procs, hostile_pids) = self.procs();
+        let (procs, hostile_pids, disks) = self.procs();
         let sub = ThreadedCluster::spawn_with(procs, &self.substrate_config());
-        self.assemble(sub, hostile_pids)
+        self.assemble(sub, hostile_pids, disks)
     }
 
     /// Assemble the cluster on the backend chosen with
     /// [`ClusterBuilder::backend`].
     pub fn build_any(self) -> RegisterCluster<B, AnyRegisterSubstrate<B>> {
-        let (procs, hostile_pids) = self.procs();
+        let (procs, hostile_pids, disks) = self.procs();
         let sub = AnySubstrate::spawn(self.backend, procs, &self.substrate_config());
-        self.assemble(sub, hostile_pids)
+        self.assemble(sub, hostile_pids, disks)
     }
 }
 
@@ -341,6 +370,12 @@ pub struct RegisterCluster<B: LabelingSystem, S = SimSubstrate<B>> {
     pub recorder: HistoryRecorder<B>,
     /// Max substrate events per blocking operation.
     pub op_budget: u64,
+    /// Per-server stable storage, when built with
+    /// [`ClusterBuilder::durable`]. The driver holds these handles
+    /// alongside the servers (works on both backends), so it can damage a
+    /// crashed server's disk and rebuild the automaton from it — and
+    /// parity tests can compare disk digests across substrates.
+    pub disks: Option<DiskSet>,
 }
 
 impl RegisterCluster<BoundedLabeling> {
@@ -613,7 +648,22 @@ where
         let sys_g = self.sys.clone();
         let garbage =
             Box::new(move |rng: &mut rand::rngs::StdRng| random_message::<B>(&sys_g, &cfg, rng));
-        NemesisRunner::new_multi(schedule, make_honest, Some(make_byz), byz_seats, garbage)
+        let runner =
+            NemesisRunner::new_multi(schedule, make_honest, Some(make_byz), byz_seats, garbage);
+        match &self.disks {
+            Some(disks) => {
+                // Durable cluster: CrashRecover damages the server's own
+                // disk and reboots it from whatever survives.
+                let disks = disks.clone();
+                let sys_r = self.sys.clone();
+                runner.recovery(Box::new(move |pid, fault| {
+                    let disk = disks.get(pid);
+                    disk.crash(fault);
+                    Box::new(Server::recover(sys_r.clone(), cfg, disk)) as Box<dyn Automaton<_, _>>
+                }))
+            }
+            None => runner,
+        }
     }
 }
 
@@ -820,6 +870,55 @@ mod tests {
         assert!(r.is_ok(), "{r:?}");
         c.settle(50_000);
         assert!(c.check_history().is_ok());
+    }
+
+    #[test]
+    fn durable_cluster_recovers_server_from_damaged_disk() {
+        use sbft_net::nemesis::{NemesisEvent, NemesisSchedule};
+        use sbft_storage::DiskFault;
+        let mut c = RegisterCluster::bounded(1).seed(40).durable().build();
+        let w = c.client(0);
+        for v in 1..=6 {
+            c.write(w, v).unwrap();
+        }
+        let disks = c.disks.clone().expect("durable cluster has disks");
+        assert!(disks.get(0).stats().appends > 0, "servers persist applied writes");
+        let sched = NemesisSchedule::scripted(vec![
+            (0, NemesisEvent::Crash(0)),
+            (1, NemesisEvent::CrashRecover { pid: 0, fault: DiskFault::LostSuffix }),
+        ]);
+        let mut runner = c.nemesis_runner(sched, vec![], ByzStrategy::Silent);
+        assert!(runner.fire_next(&mut c.sim));
+        assert!(runner.fire_next(&mut c.sim));
+        assert_eq!(runner.cures.len(), 1, "recovery counts as a cure");
+        // The recovered server rejoined with the synced prefix of its
+        // state; normal operation continues and regularity holds.
+        let srv = c.server_state(0).expect("recovered server is honest");
+        assert!(srv.writes_applied > 0, "state came back from disk, not genesis");
+        c.write(w, 7).unwrap();
+        assert_eq!(c.read(c.client(1)).unwrap().value, 7);
+        assert!(c.check_history().is_ok());
+    }
+
+    #[test]
+    fn durable_cluster_byte_identical_across_backends() {
+        let digests = |threaded: bool| {
+            let b = RegisterCluster::bounded(1).seed(41).durable();
+            let mut c = if threaded {
+                b.backend(Backend::Threaded).build_any()
+            } else {
+                b.backend(Backend::Sim).build_any()
+            };
+            let w = c.client(0);
+            for v in 1..=9 {
+                c.write(w, v).unwrap();
+            }
+            c.settle(200_000);
+            let d = c.disks.clone().unwrap().digests();
+            c.stop();
+            d
+        };
+        assert_eq!(digests(false), digests(true), "same writes, same bytes on disk");
     }
 
     #[test]

@@ -32,6 +32,7 @@ use sbft_net::substrate::{AnySubstrate, Backend, Substrate, SubstrateConfig};
 use sbft_net::{
     Automaton, CorruptionSeverity, DelayModel, NetMetrics, ProcessId, Simulation, ThreadedCluster,
 };
+use sbft_storage::DiskSet;
 
 use crate::client::KvClient;
 use crate::messages::{Key, KvEvent, KvMsg};
@@ -80,6 +81,7 @@ pub struct KvClusterBuilder<B: LabelingSystem> {
     retry: RetryPolicy,
     backend: Backend,
     pump_timeout: Option<std::time::Duration>,
+    durable: bool,
 }
 
 impl<B: LabelingSystem> KvClusterBuilder<B> {
@@ -94,7 +96,17 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
             retry: RetryPolicy::none(),
             backend: Backend::Sim,
             pump_timeout: None,
+            durable: false,
         }
+    }
+
+    /// Give every storage node a simulated stable disk (per-pid seeds
+    /// derived from the cluster seed, as in the register cluster), so
+    /// nodes can be rebooted from their own — possibly damaged — disks
+    /// via [`KvServer::recover`].
+    pub fn durable(mut self) -> Self {
+        self.durable = true;
+        self
     }
 
     /// Number of clients (default 2).
@@ -144,11 +156,16 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
         }
     }
 
-    fn procs(&self) -> KvProcs<B> {
+    fn procs(&self) -> (KvProcs<B>, Option<DiskSet>) {
         let sys: Sys<B> = MwmrLabeling::new(self.base.clone());
+        let disks = self.durable.then(|| DiskSet::sim(self.cfg.n, self.seed ^ 0xD15C_D15C));
         let mut procs: KvProcs<B> = Vec::new();
-        for _ in 0..self.cfg.n {
-            procs.push(Box::new(KvServer::new(sys.clone(), self.cfg)));
+        for s in 0..self.cfg.n {
+            let server = KvServer::new(sys.clone(), self.cfg);
+            procs.push(match &disks {
+                Some(d) => Box::new(server.with_disk(d.get(s))),
+                None => Box::new(server),
+            });
         }
         for c in 0..self.n_clients {
             let pid = self.cfg.client_pid(c);
@@ -160,10 +177,10 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
                 self.retry,
             )));
         }
-        procs
+        (procs, disks)
     }
 
-    fn assemble<S>(self, sim: S) -> KvCluster<B, S> {
+    fn assemble<S>(self, sim: S, disks: Option<DiskSet>) -> KvCluster<B, S> {
         KvCluster {
             sim,
             cfg: self.cfg,
@@ -171,26 +188,30 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
             n_clients: self.n_clients,
             recorders: BTreeMap::new(),
             op_budget: 400_000,
+            disks,
         }
     }
 
     /// Assemble the store on the deterministic simulator.
     pub fn build(self) -> KvCluster<B> {
-        let sim = Simulation::from_procs(self.procs(), &self.substrate_config());
-        self.assemble(sim)
+        let (procs, disks) = self.procs();
+        let sim = Simulation::from_procs(procs, &self.substrate_config());
+        self.assemble(sim, disks)
     }
 
     /// Assemble the store on the threaded runtime.
     pub fn build_threaded(self) -> KvCluster<B, KvThreadedSubstrate<B>> {
-        let sub = ThreadedCluster::spawn_with(self.procs(), &self.substrate_config());
-        self.assemble(sub)
+        let (procs, disks) = self.procs();
+        let sub = ThreadedCluster::spawn_with(procs, &self.substrate_config());
+        self.assemble(sub, disks)
     }
 
     /// Assemble the store on the backend chosen with
     /// [`KvClusterBuilder::backend`].
     pub fn build_any(self) -> KvCluster<B, AnyKvSubstrate<B>> {
-        let sub = AnySubstrate::spawn(self.backend, self.procs(), &self.substrate_config());
-        self.assemble(sub)
+        let (procs, disks) = self.procs();
+        let sub = AnySubstrate::spawn(self.backend, procs, &self.substrate_config());
+        self.assemble(sub, disks)
     }
 }
 
@@ -207,6 +228,8 @@ pub struct KvCluster<B: LabelingSystem, S = KvSimSubstrate<B>> {
     pub recorders: BTreeMap<Key, HistoryRecorder<B>>,
     /// Max events per blocking op.
     pub op_budget: u64,
+    /// Per-server stable disks when the builder asked for durability.
+    pub disks: Option<DiskSet>,
 }
 
 impl KvCluster<BoundedLabeling> {
@@ -464,6 +487,29 @@ mod tests {
         assert!(store.put_outcome(c, 1, 33).is_ok());
         let got = store.get_outcome(c, 1);
         assert_eq!(got, OpOutcome::Ok(33), "{got:?}");
+        assert!(store.check_all_histories().is_ok());
+    }
+
+    #[test]
+    fn durable_store_reboots_a_node_from_its_damaged_disk() {
+        use crate::server::KvServer;
+        use sbft_storage::DiskFault;
+        let mut store = KvCluster::bounded(1).seed(9).durable().build();
+        let c = store.client(0);
+        for key in 0..3u64 {
+            store.put(c, key, 100 + key).unwrap();
+            store.put(c, key, 200 + key).unwrap();
+        }
+        let disks = store.disks.clone().unwrap();
+        store.sim.crash(0);
+        let disk = disks.get(0);
+        disk.crash(DiskFault::LostSuffix);
+        let recovered = KvServer::recover(store.sys.clone(), store.cfg, disk);
+        assert!(recovered.key_count() >= 1, "nothing salvaged from the disk");
+        store.sim.restart_with(0, Box::new(recovered));
+        // The store keeps serving with the rebooted node back in the pool.
+        store.put(c, 1, 999).unwrap();
+        assert_eq!(store.get(c, 1).unwrap(), 999);
         assert!(store.check_all_histories().is_ok());
     }
 

@@ -36,6 +36,7 @@
 
 pub mod bounded;
 pub mod mwmr;
+pub mod persist;
 pub mod readlabel;
 pub mod system;
 pub mod unbounded;

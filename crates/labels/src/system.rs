@@ -12,6 +12,7 @@ use std::fmt::Debug;
 use std::hash::Hash;
 
 use rand::rngs::StdRng;
+use sbft_storage::Codec;
 
 /// A labeling (timestamping) system: a label domain, an antisymmetric
 /// precedence relation `≺`, and a dominating-label generator `next()`.
@@ -29,8 +30,11 @@ use rand::rngs::StdRng;
 /// the k-dominance property cannot exist, by following a dominating chain
 /// around the finite domain).
 pub trait LabelingSystem: Clone + Send + Sync + 'static {
-    /// The label type produced and compared by this system.
-    type Label: Clone + Eq + Hash + Ord + Debug + Send + Sync + 'static;
+    /// The label type produced and compared by this system. The [`Codec`]
+    /// bound lets server state containing labels persist to stable storage
+    /// (see `sbft-storage`); decoding tolerates ill-formed labels, which
+    /// [`Self::sanitize`] repairs on use.
+    type Label: Clone + Eq + Hash + Ord + Debug + Send + Sync + 'static + Codec;
 
     /// Maximum size of a label set that [`Self::next`] is guaranteed to
     /// dominate. Unbounded systems return `usize::MAX`.

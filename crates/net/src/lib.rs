@@ -50,7 +50,7 @@ pub use metrics::{LatencyHistogram, NetMetrics};
 pub use mobile::{mobile_schedule, MobileOpts, MovementMode};
 pub use nemesis::{
     AutomatonFactory, CureMode, LinkFault, NemesisEvent, NemesisOpts, NemesisRunner,
-    NemesisSchedule,
+    NemesisSchedule, RecoveryFactory,
 };
 pub use process::{Automaton, Ctx, ProcessId, ENV};
 pub use sim::{EventKey, SimConfig, SimEvent, Simulation};

@@ -260,6 +260,17 @@ pub trait Substrate<M, O> {
     /// is one whose memory was corrupted to an initial state.
     fn restart(&mut self, pid: ProcessId, auto: Box<dyn Automaton<M, O>>);
 
+    /// Restart `pid` with a *specific* automaton carrying recovered state —
+    /// e.g. one rebuilt from the process's own (possibly damaged) stable
+    /// storage. Mechanically identical to [`Substrate::restart`] (same
+    /// incarnation bump, timer invalidation, and `on_start`), but the
+    /// intent differs: `restart` models reboot-from-zero, `restart_with`
+    /// models reboot-from-disk. Provided so callers and both backends share
+    /// one spelling for the recovery path.
+    fn restart_with(&mut self, pid: ProcessId, recovered: Box<dyn Automaton<M, O>>) {
+        self.restart(pid, recovered);
+    }
+
     /// Install (`Some`) or clear (`None`) a [`LinkFault`] on the directed
     /// channel `(from, to)`: per-message drop/duplication probabilities and
     /// an extra delay. FIFO order among surviving messages is preserved on

@@ -31,6 +31,11 @@ fn replay(initial: &[ProcessId], servers: usize, sched: &NemesisSchedule) -> BTr
                 // Restart must recover the server that actually crashed.
                 assert_eq!(crashed.take(), Some(*p), "restart/crash mispaired");
             }
+            NemesisEvent::CrashRecover { pid, .. } => {
+                // Crash-recovery reboots the server that actually crashed,
+                // from its own (possibly damaged) disk.
+                assert_eq!(crashed.take(), Some(*pid), "crash-recover/crash mispaired");
+            }
             NemesisEvent::Partition { side } => {
                 for p in side {
                     assert!(!seats.contains(p), "partition isolated seat {p}");
@@ -114,6 +119,54 @@ proptest! {
             assert_eq!(ta, tb);
             assert_eq!(format!("{ea:?}"), format!("{eb:?}"));
         }
+    }
+
+    /// Every generated `Crash` is paired with a later `Restart` or
+    /// `CrashRecover` for the same server, no later than the horizon —
+    /// i.e. no server is ever left permanently down, with or without
+    /// durable-disk recovery in the fault pool.
+    #[test]
+    fn every_crash_pairs_with_recovery_within_horizon(
+        seed in 0u64..200,
+        f in 0usize..3,
+        durable in any::<bool>(),
+    ) {
+        let servers = 11usize;
+        let byz_seats: Vec<ProcessId> = (servers - f..servers).collect();
+        let mut opts = NemesisOpts {
+            servers,
+            total_procs: servers + 2,
+            byz_seats,
+            ..NemesisOpts::default()
+        };
+        if !durable {
+            // An empty fault pool degrades crash windows to plain restarts.
+            opts.disk_faults.clear();
+        }
+        let sched = NemesisSchedule::random(seed, &opts);
+        let mut down: Option<(u64, ProcessId)> = None;
+        for (t, ev) in sched.events() {
+            match ev {
+                NemesisEvent::Crash(p) => {
+                    assert!(down.is_none(), "crash while a server was already down");
+                    down = Some((*t, *p));
+                }
+                NemesisEvent::Restart(p) => {
+                    prop_assert!(!durable, "durable schedules must use CrashRecover");
+                    let (t0, p0) = down.take().expect("restart without a crash");
+                    assert_eq!(p0, *p);
+                    assert!(*t > t0 && *t <= opts.horizon, "recovery outside horizon");
+                }
+                NemesisEvent::CrashRecover { pid, .. } => {
+                    prop_assert!(durable, "CrashRecover needs a non-empty fault pool");
+                    let (t0, p0) = down.take().expect("crash-recover without a crash");
+                    assert_eq!(p0, *pid);
+                    assert!(*t > t0 && *t <= opts.horizon, "recovery outside horizon");
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(down.is_none(), "a crashed server was never recovered");
     }
 
     /// The mobile movement engine keeps the same seat invariants for any

@@ -15,6 +15,7 @@
 //! | [`wtsg`] | `sbft-wtsg` | weighted timestamp graphs (local + union) and return-value selection |
 //! | [`net`] | `sbft-net` | deterministic discrete-event simulator, fault injection, threaded runtime |
 //! | [`datalink`] | `sbft-datalink` | stabilizing data-link over lossy non-FIFO channels (the FIFO assumption, constructively) |
+//! | [`storage`] | `sbft-storage` | stable-store trait, checksummed frames, simulated faulty disk, byte codec |
 //! | [`register`] | `sbft-core` | the register protocol: servers, clients, adversaries, spec checker, cluster driver |
 //! | [`baseline`] | `sbft-baseline` | classical comparators: KLMW 3f+1 (unbounded ts), Malkhi–Reiter safe 5f, crash-only ABD |
 //! | [`kv`] | `sbft-kv` | keyed object store multiplexing registers over one server pool |
@@ -74,4 +75,5 @@ pub use sbft_datalink as datalink;
 pub use sbft_kv as kv;
 pub use sbft_labels as labels;
 pub use sbft_net as net;
+pub use sbft_storage as storage;
 pub use sbft_wtsg as wtsg;

@@ -380,6 +380,80 @@ fn link_fault_accounting_agrees_across_substrates() {
     }
 }
 
+/// One durable run under a scripted Crash → CrashRecover schedule:
+/// blocking ops with a full settle between steps make the per-server
+/// message order — and therefore every disk's byte content — a function
+/// of the seed alone, on either backend. Returns the per-server disk
+/// digests, the spec verdict, and the recovery (cure) log.
+fn durable_recover_trace(
+    backend: Backend,
+    seed: u64,
+) -> (Vec<u64>, Result<(), String>, Vec<ProcessId>) {
+    use sbft::net::NemesisEvent;
+    use sbft::storage::DiskFault;
+    let mut c =
+        RegisterCluster::bounded(1).clients(2).durable().seed(seed).backend(backend).build_any();
+    let (w, r) = (c.client(0), c.client(1));
+    let schedule = NemesisSchedule::scripted(vec![
+        (0, NemesisEvent::Crash(0)),
+        (1, NemesisEvent::CrashRecover { pid: 0, fault: DiskFault::LostSuffix }),
+        (2, NemesisEvent::Crash(2)),
+        (3, NemesisEvent::CrashRecover { pid: 2, fault: DiskFault::StaleSnapshot }),
+    ]);
+    let mut runner =
+        c.nemesis_runner(schedule, Vec::new(), sbft::register::adversary::ByzStrategy::Silent);
+    for v in 1..=6u64 {
+        c.write(w, v).unwrap();
+    }
+    c.settle(200_000);
+    // Crash 0, write through the gap, reboot it from its damaged disk.
+    runner.fire_next(&mut c.sim);
+    c.settle(200_000);
+    for v in 7..=9u64 {
+        c.write(w, v).unwrap();
+    }
+    c.settle(200_000);
+    runner.fire_next(&mut c.sim);
+    c.settle(200_000);
+    // Same dance for server 2 with a different fault kind.
+    runner.fire_next(&mut c.sim);
+    c.settle(200_000);
+    for v in 10..=12u64 {
+        c.write(w, v).unwrap();
+    }
+    c.settle(200_000);
+    runner.fire_next(&mut c.sim);
+    c.settle(200_000);
+    for v in 13..=20u64 {
+        c.write(w, v).unwrap();
+    }
+    let got = c.read(r).expect("read terminates after recoveries").value;
+    assert_eq!(got, 20, "{backend:?}");
+    c.settle(200_000);
+    let digests = c.disks.as_ref().expect("durable cluster has disks").digests();
+    let verdict = c.check_history().map_err(|e| format!("{e:?}"));
+    let cures = runner.cures.iter().map(|&(_, pid)| pid).collect();
+    c.stop();
+    (digests, verdict, cures)
+}
+
+/// Satellite of the durability work: an identical seed and an identical
+/// CrashRecover schedule leave byte-identical recovered state (per-server
+/// disk digests) and the identical spec verdict on the simulator and on
+/// real threads.
+#[test]
+fn crash_recover_parity_across_substrates() {
+    for seed in [5u64, 23] {
+        let (sim_digests, sim_verdict, sim_cures) = durable_recover_trace(Backend::Sim, seed);
+        let (thr_digests, thr_verdict, thr_cures) = durable_recover_trace(Backend::Threaded, seed);
+        assert_eq!(sim_digests, thr_digests, "seed {seed}: recovered disks diverged");
+        assert_eq!(sim_verdict, thr_verdict, "seed {seed}: spec verdicts diverged");
+        assert!(sim_verdict.is_ok(), "seed {seed}: {sim_verdict:?}");
+        assert_eq!(sim_cures, vec![0, 2], "seed {seed}: recovery log wrong");
+        assert_eq!(sim_cures, thr_cures, "seed {seed}: recovery logs diverged");
+    }
+}
+
 #[test]
 fn datalink_provides_fifo_for_the_register_assumption() {
     // The register assumes reliable FIFO channels; the data-link builds
