@@ -189,6 +189,7 @@ impl AbdCluster {
             seed,
             delay: DelayModel::uniform(1, 10),
             trace_capacity: 0,
+            ..SimConfig::default()
         });
         for _ in 0..n {
             sim.add_process(Box::new(AbdServer::new()));

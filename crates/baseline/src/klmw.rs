@@ -309,6 +309,7 @@ impl KlmwCluster {
             seed,
             delay: DelayModel::uniform(1, 10),
             trace_capacity: 0,
+            ..SimConfig::default()
         });
         for s in 0..n {
             if s >= n - byz {

@@ -196,6 +196,7 @@ impl MrCluster {
             seed,
             delay: DelayModel::uniform(1, 10),
             trace_capacity: 0,
+            ..SimConfig::default()
         });
         for _ in 0..n {
             sim.add_process(Box::new(MrServer::new()));

@@ -9,6 +9,7 @@
 //! harness explore        # E16 exhaustive schedule exploration
 //! harness mobile         # E17 mobile-Byzantine frontier; writes BENCH_e17.json
 //! harness recover        # E18 damaged-disk crash recovery; writes BENCH_e18.json
+//! harness scale          # E19 shard × batching scale sweep; writes BENCH_e19.json
 //! ```
 //!
 //! `load` accepts `--clients N` (default 4), `--ops N` (default 400) and
@@ -23,6 +24,13 @@
 //! `n ∈ {5f, 5f+1}` with every crashed server rebooted from its own
 //! damaged disk, and writes the sweep to `BENCH_e18.json`; `--quick`
 //! runs the 4-cell CI smoke instead of the full grid.
+//!
+//! `scale` (alias `e19`) sweeps shard count × link-batch policy with
+//! pipelined clients over a large keyspace on both substrates and writes
+//! the grid to `BENCH_e19.json`; it accepts `--clients N` (default 192)
+//! and `--ops N` (default 20000 — several times the total in-flight slot
+//! count, so cells measure steady state rather than one burst), and
+//! `--quick` runs the 4-cell sim-only CI smoke instead.
 //!
 //! `explore` (alias `e16`) accepts `--quick` (smaller fork depth) and
 //! writes the found-and-shrunk Theorem 1 counterexample to
@@ -166,6 +174,27 @@ fn main() {
             Err(e) => eprintln!("could not write BENCH_e18.json: {e}"),
         }
     }
+    if want("e19") || arg == "scale" {
+        let flag = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<u64>().ok())
+        };
+        let cells = if quick {
+            e19_scale::run_quick(42)
+        } else {
+            let clients = flag("--clients").unwrap_or(192) as usize;
+            let ops = flag("--ops").unwrap_or(20_000);
+            e19_scale::run_cells(clients, ops, 42)
+        };
+        emit(e19_scale::table(&cells));
+        let json = e19_scale::to_json(&cells);
+        match std::fs::write("BENCH_e19.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_e19.json ({} cells)", cells.len()),
+            Err(e) => eprintln!("could not write BENCH_e19.json: {e}"),
+        }
+    }
     if want("ablations") {
         emit(ablations::ablate_selection(seeds.min(5)));
         emit(ablations::ablate_union(seeds.min(5)));
@@ -174,7 +203,7 @@ fn main() {
 
     if !printed {
         eprintln!(
-            "unknown experiment {arg:?}; use all | quick | e1..e18 | load | explore | mobile | recover | ablations [--csv|--quick|--clients N|--replay FILE]"
+            "unknown experiment {arg:?}; use all | quick | e1..e19 | load | explore | mobile | recover | scale | ablations [--csv|--quick|--clients N|--replay FILE]"
         );
         std::process::exit(2);
     }

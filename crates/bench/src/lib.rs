@@ -24,6 +24,7 @@ pub mod e15_load;
 pub mod e16_explore;
 pub mod e17_mobile;
 pub mod e18_recover;
+pub mod e19_scale;
 pub mod e1_lower_bound;
 pub mod e2_termination;
 pub mod e3_propagation;

@@ -584,6 +584,47 @@ impl WindowTracker {
     }
 }
 
+/// Aggregate verdict for one group of per-register histories (e.g. all the
+/// keys a shard hosts): how many registers the group contains and how many
+/// regularity violations its histories carry in total. A group with
+/// `violations == 0` is regular as a whole, because the per-key histories
+/// are independent (Theorem 1 applies register by register).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroupVerdict {
+    /// Registers whose histories fell into this group.
+    pub registers: usize,
+    /// Total regularity violations across the group's histories.
+    pub violations: usize,
+}
+
+impl GroupVerdict {
+    /// Whether every history in the group checked out regular.
+    pub fn is_regular(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Fold per-register check results into per-group verdicts.
+///
+/// The iterator yields `(group, result)` pairs — a group id (shard index,
+/// placement domain, …) with that register's [`HistoryRecorder::check`]
+/// outcome. Groups with no registers simply do not appear; callers wanting
+/// a row per group can seed the map themselves.
+pub fn group_verdicts<I>(results: I) -> std::collections::BTreeMap<usize, GroupVerdict>
+where
+    I: IntoIterator<Item = (usize, Result<(), Vec<RegularityError>>)>,
+{
+    let mut groups = std::collections::BTreeMap::<usize, GroupVerdict>::new();
+    for (group, result) in results {
+        let v = groups.entry(group).or_default();
+        v.registers += 1;
+        if let Err(errs) = result {
+            v.violations += errs.len();
+        }
+    }
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -931,5 +972,22 @@ mod tests {
         t.disturbance(10); // zero-length: not recorded
         t.write_completed(20, true);
         assert_eq!(t.finish(30), vec![(20, 30)]);
+    }
+
+    #[test]
+    fn group_verdicts_fold_per_register_results() {
+        let bad = vec![RegularityError::UnknownValue { read: 0, value: 9 }];
+        let groups = group_verdicts([
+            (0, Ok(())),
+            (0, Ok(())),
+            (1, Err(bad.clone())),
+            (1, Ok(())),
+            (1, Err(bad)),
+        ]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[&0], GroupVerdict { registers: 2, violations: 0 });
+        assert!(groups[&0].is_regular());
+        assert_eq!(groups[&1], GroupVerdict { registers: 3, violations: 2 });
+        assert!(!groups[&1].is_regular());
     }
 }

@@ -3,11 +3,13 @@
 //! The register protocol's client bookkeeping — the bounded read-label
 //! pool, the `recent_labels` matrix, the `recent_vals` caches — is all
 //! per-register state, so it lives per key. Operations on *different*
-//! keys could in principle run concurrently; this client keeps the
-//! one-op-at-a-time discipline across the whole store for simplicity (the
-//! driver serializes per client anyway).
+//! keys are therefore independent and may run concurrently up to the
+//! configured pipeline depth ([`KvClient::with_pipeline`]); the default
+//! depth of 1 keeps the original one-op-at-a-time discipline. At most one
+//! operation per key is ever in flight — a command for a busy key is
+//! dropped, like any command beyond the depth.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
 use sbft_core::client::Client;
@@ -28,8 +30,12 @@ pub struct KvClient<B: LabelingSystem> {
     policy: RetryPolicy,
     /// Per-key register-client state.
     pub per_key: BTreeMap<Key, Client<B>>,
-    /// Key of the operation in flight, if any.
-    pub active: Option<Key>,
+    /// Keys with an operation in flight (at most `max_inflight` of them,
+    /// at most one per key).
+    pub active: BTreeSet<Key>,
+    /// Pipeline depth: how many distinct keys may have an operation in
+    /// flight simultaneously.
+    max_inflight: usize,
     /// Outer → `(key, inner)` timer-id indirection: per-key register
     /// clients pick timer ids independently of each other, so their
     /// timers must be disambiguated before entering the process-wide
@@ -59,10 +65,23 @@ impl<B: LabelingSystem> KvClient<B> {
             writer_id,
             policy,
             per_key: BTreeMap::new(),
-            active: None,
+            active: BTreeSet::new(),
+            max_inflight: 1,
             timer_routes: BTreeMap::new(),
             timer_seq: 0,
         }
+    }
+
+    /// Allow up to `depth` concurrent operations on distinct keys (clamped
+    /// to ≥ 1). Depth 1 is the original one-op-at-a-time client.
+    pub fn with_pipeline(mut self, depth: usize) -> Self {
+        self.max_inflight = depth.max(1);
+        self
+    }
+
+    /// Number of operations currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.active.len()
     }
 
     fn client_for(&mut self, key: Key) -> &mut Client<B> {
@@ -95,11 +114,11 @@ impl<B: LabelingSystem> Automaton<KvMsg<Ts<B>>, KvEvent<Ts<B>>> for KvClient<B> 
     ) {
         let key = msg.key;
         if from == ENV {
-            if self.active.is_some() {
-                return; // one store operation at a time
+            if self.active.contains(&key) || self.active.len() >= self.max_inflight {
+                return; // key busy, or the pipeline is full
             }
-            self.active = Some(key);
-        } else if self.active != Some(key) {
+            self.active.insert(key);
+        } else if !self.active.contains(&key) {
             // A late reply for a finished (or foreign) key's operation:
             // deliver it to that key's client anyway so its label
             // bookkeeping stays accurate — but no new op can start there.
@@ -134,7 +153,7 @@ impl<B: LabelingSystem> Automaton<KvMsg<Ts<B>>, KvEvent<Ts<B>>> for KvClient<B> 
         }
         for o in outputs {
             if o.is_read_end() || o.is_write_end() {
-                self.active = None;
+                self.active.remove(&key);
             }
             ctx.output(KvEvent { key, inner: o });
         }
@@ -160,8 +179,8 @@ impl<B: LabelingSystem> Automaton<KvMsg<Ts<B>>, KvEvent<Ts<B>>> for KvClient<B> 
             self.arm(key, delay, tid, ctx);
         }
         for o in outputs {
-            if (o.is_read_end() || o.is_write_end()) && self.active == Some(key) {
-                self.active = None;
+            if o.is_read_end() || o.is_write_end() {
+                self.active.remove(&key);
             }
             ctx.output(KvEvent { key, inner: o });
         }
@@ -171,7 +190,7 @@ impl<B: LabelingSystem> Automaton<KvMsg<Ts<B>>, KvEvent<Ts<B>>> for KvClient<B> 
         for client in self.per_key.values_mut() {
             client.corrupt(rng);
         }
-        self.active = None;
+        self.active.clear();
     }
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
@@ -215,7 +234,7 @@ mod tests {
         let out = deliver(&mut c, ENV, KvMsg::new(5, Msg::InvokeWrite { value: 1 }));
         assert_eq!(out.len(), 6);
         assert!(out.iter().all(|(_, m)| m.key == 5 && matches!(m.inner, Msg::GetTs)));
-        assert_eq!(c.active, Some(5));
+        assert!(c.active.contains(&5) && c.inflight() == 1);
     }
 
     #[test]
@@ -224,7 +243,7 @@ mod tests {
         deliver(&mut c, ENV, KvMsg::new(5, Msg::InvokeWrite { value: 1 }));
         let out = deliver(&mut c, ENV, KvMsg::new(6, Msg::InvokeRead));
         assert!(out.is_empty());
-        assert_eq!(c.active, Some(5));
+        assert!(c.active.contains(&5) && c.inflight() == 1);
     }
 
     #[test]
@@ -235,6 +254,23 @@ mod tests {
         let genesis = c.sys.genesis();
         let out = deliver(&mut c, 0, KvMsg::new(9, Msg::TsReply { ts: genesis }));
         assert!(out.is_empty());
-        assert_eq!(c.active, Some(5));
+        assert!(c.active.contains(&5) && c.inflight() == 1);
+    }
+
+    #[test]
+    fn pipelining_admits_distinct_keys_up_to_depth() {
+        let mut c = client().with_pipeline(2);
+        let out = deliver(&mut c, ENV, KvMsg::new(5, Msg::InvokeWrite { value: 1 }));
+        assert_eq!(out.len(), 6);
+        // A second op on a distinct key rides alongside the first.
+        let out = deliver(&mut c, ENV, KvMsg::new(6, Msg::InvokeRead));
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|(_, m)| m.key == 6));
+        assert_eq!(c.inflight(), 2);
+        // A third op (pipeline full) and a duplicate on a busy key are both
+        // dropped.
+        assert!(deliver(&mut c, ENV, KvMsg::new(7, Msg::InvokeRead)).is_empty());
+        assert!(deliver(&mut c, ENV, KvMsg::new(5, Msg::InvokeRead)).is_empty());
+        assert_eq!(c.inflight(), 2);
     }
 }

@@ -24,19 +24,21 @@ use sbft_core::cluster::OpOutcome;
 use sbft_core::config::ClusterConfig;
 use sbft_core::messages::{ClientEvent, Value};
 use sbft_core::reader::ReaderOptions;
-use sbft_core::spec::{HistoryRecorder, OpKind, RegularityError};
+use sbft_core::spec::{group_verdicts, GroupVerdict, HistoryRecorder, OpKind, RegularityError};
 use sbft_core::{RetryPolicy, Sys, Ts};
 use sbft_labels::{BoundedLabeling, LabelingSystem, MwmrLabeling};
 use sbft_net::corruption::FaultPlan;
 use sbft_net::substrate::{AnySubstrate, Backend, Substrate, SubstrateConfig};
 use sbft_net::{
-    Automaton, CorruptionSeverity, DelayModel, NetMetrics, ProcessId, Simulation, ThreadedCluster,
+    Automaton, BatchPolicy, CorruptionSeverity, DelayModel, NetMetrics, ProcessId, Simulation,
+    ThreadedCluster,
 };
 use sbft_storage::DiskSet;
 
 use crate::client::KvClient;
 use crate::messages::{Key, KvEvent, KvMsg};
 use crate::server::KvServer;
+use crate::shard::{ShardRouter, ShardedClient, ShardedServer};
 
 /// The simulator substrate type for the store.
 pub type KvSimSubstrate<B> = Simulation<KvMsg<Ts<B>>, KvEvent<Ts<B>>>;
@@ -82,6 +84,9 @@ pub struct KvClusterBuilder<B: LabelingSystem> {
     backend: Backend,
     pump_timeout: Option<std::time::Duration>,
     durable: bool,
+    shards: usize,
+    pipeline: usize,
+    batch: BatchPolicy,
 }
 
 impl<B: LabelingSystem> KvClusterBuilder<B> {
@@ -97,7 +102,33 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
             backend: Backend::Sim,
             pump_timeout: None,
             durable: false,
+            shards: 1,
+            pipeline: 1,
+            batch: BatchPolicy::disabled(),
         }
+    }
+
+    /// Hash-partition the keyspace over `s` independent `5f + 1` server
+    /// groups (default 1 — the classic single-group store). Each shard is
+    /// its own unit of placement and fault isolation.
+    pub fn shards(mut self, s: usize) -> Self {
+        self.shards = s.max(1);
+        self
+    }
+
+    /// Let every client pipeline up to `depth` concurrent operations on
+    /// distinct keys (default 1 — strictly sequential, the original
+    /// discipline).
+    pub fn pipeline(mut self, depth: usize) -> Self {
+        self.pipeline = depth.max(1);
+        self
+    }
+
+    /// Coalesce same-link messages into batched wire frames under
+    /// `policy` (default [`BatchPolicy::disabled`]).
+    pub fn batch(mut self, policy: BatchPolicy) -> Self {
+        self.batch = policy;
+        self
     }
 
     /// Give every storage node a simulated stable disk (per-pid seeds
@@ -149,7 +180,8 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
     }
 
     fn substrate_config(&self) -> SubstrateConfig {
-        let cfg = SubstrateConfig::seeded(self.seed).with_delay(self.delay);
+        let cfg =
+            SubstrateConfig::seeded(self.seed).with_delay(self.delay).with_batching(self.batch);
         match self.pump_timeout {
             Some(t) => cfg.with_pump_timeout(t),
             None => cfg,
@@ -158,26 +190,54 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
 
     fn procs(&self) -> (KvProcs<B>, Option<DiskSet>) {
         let sys: Sys<B> = MwmrLabeling::new(self.base.clone());
-        let disks = self.durable.then(|| DiskSet::sim(self.cfg.n, self.seed ^ 0xD15C_D15C));
+        let router = ShardRouter::new(self.cfg, self.shards);
+        let disks =
+            self.durable.then(|| DiskSet::sim(router.total_servers(), self.seed ^ 0xD15C_D15C));
         let mut procs: KvProcs<B> = Vec::new();
-        for s in 0..self.cfg.n {
-            let server = KvServer::new(sys.clone(), self.cfg);
-            procs.push(match &disks {
-                Some(d) => Box::new(server.with_disk(d.get(s))),
-                None => Box::new(server),
-            });
-        }
-        for c in 0..self.n_clients {
-            let pid = self.cfg.client_pid(c);
-            procs.push(Box::new(KvClient::with_retry(
-                sys.clone(),
-                self.cfg,
-                pid as u32,
-                ReaderOptions::default(),
-                self.retry,
-            )));
+        if self.shards == 1 {
+            // The classic single-group store: unwrapped automata, exactly
+            // the layout every pre-sharding experiment runs on.
+            for s in 0..self.cfg.n {
+                let server = KvServer::new(sys.clone(), self.cfg);
+                procs.push(match &disks {
+                    Some(d) => Box::new(server.with_disk(d.get(s))),
+                    None => Box::new(server),
+                });
+            }
+            for c in 0..self.n_clients {
+                let pid = self.cfg.client_pid(c);
+                procs.push(Box::new(self.client_automaton(&sys, pid)));
+            }
+        } else {
+            for shard in 0..self.shards {
+                for pid in router.server_pids(shard) {
+                    let server = KvServer::new(sys.clone(), self.cfg);
+                    let server = match &disks {
+                        Some(d) => server.with_disk(d.get(pid)),
+                        None => server,
+                    };
+                    procs.push(Box::new(ShardedServer::new(server, router, shard)));
+                }
+            }
+            for c in 0..self.n_clients {
+                // The inner client keeps its local writer identity n + c —
+                // unique per client, independent of the shard count.
+                let inner = self.client_automaton(&sys, self.cfg.client_pid(c));
+                procs.push(Box::new(ShardedClient::new(inner, router)));
+            }
         }
         (procs, disks)
+    }
+
+    fn client_automaton(&self, sys: &Sys<B>, writer_pid: ProcessId) -> KvClient<B> {
+        KvClient::with_retry(
+            sys.clone(),
+            self.cfg,
+            writer_pid as u32,
+            ReaderOptions::default(),
+            self.retry,
+        )
+        .with_pipeline(self.pipeline)
     }
 
     fn assemble<S>(self, sim: S, disks: Option<DiskSet>) -> KvCluster<B, S> {
@@ -185,6 +245,7 @@ impl<B: LabelingSystem> KvClusterBuilder<B> {
             sim,
             cfg: self.cfg,
             sys: MwmrLabeling::new(self.base.clone()),
+            router: ShardRouter::new(self.cfg, self.shards),
             n_clients: self.n_clients,
             recorders: BTreeMap::new(),
             op_budget: 400_000,
@@ -223,6 +284,8 @@ pub struct KvCluster<B: LabelingSystem, S = KvSimSubstrate<B>> {
     pub cfg: ClusterConfig,
     /// The labeling system.
     pub sys: Sys<B>,
+    /// Key → shard placement (one shard unless the builder asked for more).
+    pub router: ShardRouter,
     n_clients: usize,
     /// One history per key.
     pub recorders: BTreeMap<Key, HistoryRecorder<B>>,
@@ -245,10 +308,10 @@ where
     B: LabelingSystem,
     S: Substrate<KvMsg<Ts<B>>, KvEvent<Ts<B>>>,
 {
-    /// Pid of client `i`.
+    /// Pid of client `i` (clients sit after every shard's servers).
     pub fn client(&self, i: usize) -> ProcessId {
         assert!(i < self.n_clients);
-        self.cfg.client_pid(i)
+        self.router.client_pid(i)
     }
 
     /// Which backend the store runs on.
@@ -344,7 +407,7 @@ where
 
     /// Transient fault on the whole store (all nodes, clients, channels).
     pub fn corrupt_everything(&mut self, severity: CorruptionSeverity) {
-        let total = self.cfg.n + self.n_clients;
+        let total = self.router.total_servers() + self.n_clients;
         let plan = FaultPlan::total(total, severity);
         let sys = self.sys.clone();
         let cfg = self.cfg;
@@ -381,6 +444,18 @@ where
         } else {
             Err(bad)
         }
+    }
+
+    /// Fold every key's regularity verdict by hosting shard: how many keys
+    /// each shard served and how many violations its histories carry. A
+    /// shard with zero violations is regular as a unit — fault isolation
+    /// means a Byzantine or crashed neighbour shard cannot change that.
+    pub fn check_per_shard(&self) -> BTreeMap<usize, GroupVerdict> {
+        group_verdicts(
+            self.recorders
+                .iter()
+                .map(|(&key, rec)| (self.router.shard_of(key), rec.check(&self.sys))),
+        )
     }
 
     /// Check every key's suffix from `t` (post-stabilization verdict).
@@ -526,6 +601,59 @@ mod tests {
         let m = store.metrics();
         assert!(m.messages_sent > 0 && m.messages_delivered > 0, "{m:?}");
         store.stop();
+    }
+
+    #[test]
+    fn sharded_store_round_trips_across_all_shards() {
+        let mut store = KvCluster::bounded(1).shards(4).seed(11).build();
+        let c = store.client(0);
+        for key in 0..16u64 {
+            store.put(c, key, 1000 + key).unwrap();
+        }
+        for key in 0..16u64 {
+            assert_eq!(store.get(c, key).unwrap(), 1000 + key);
+        }
+        assert!(store.check_all_histories().is_ok());
+        let verdicts = store.check_per_shard();
+        assert_eq!(verdicts.values().map(|v| v.registers).sum::<usize>(), 16);
+        assert!(verdicts.values().all(|v| v.is_regular()), "{verdicts:?}");
+        assert!(verdicts.len() > 1, "16 keys should span several shards");
+    }
+
+    #[test]
+    fn sharded_store_with_batching_and_pipelining_stays_regular() {
+        use sbft_net::BatchPolicy;
+        let mut store = KvCluster::bounded(1)
+            .shards(2)
+            .pipeline(4)
+            .batch(BatchPolicy::new(8, 4))
+            .seed(12)
+            .build();
+        let c = store.client(0);
+        for key in 0..8u64 {
+            store.put(c, key, 7 + key).unwrap();
+        }
+        for key in 0..8u64 {
+            assert_eq!(store.get(c, key).unwrap(), 7 + key);
+        }
+        assert!(store.check_all_histories().is_ok());
+        let m = store.metrics();
+        assert!(m.frames_delivered > 0 && m.frames_delivered <= m.messages_delivered, "{m:?}");
+    }
+
+    #[test]
+    fn sharded_store_recovers_from_total_corruption() {
+        let mut store = KvCluster::bounded(1).shards(2).seed(13).build();
+        let c = store.client(0);
+        store.put(c, 1, 11).unwrap();
+        store.put(c, 2, 22).unwrap();
+        store.corrupt_everything(CorruptionSeverity::Heavy);
+        store.put(c, 1, 111).unwrap();
+        store.put(c, 2, 222).unwrap();
+        let stable = store.now();
+        assert_eq!(store.get(c, 1).unwrap(), 111);
+        assert_eq!(store.get(c, 2).unwrap(), 222);
+        assert!(store.check_all_from(stable).is_ok());
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   protocol's bookkeeping requires).
 //! * [`cluster::KvCluster`] is the driver: blocking `put`/`get`, one
 //!   history recorder per key, and the per-key regularity verdicts.
+//! * [`shard::ShardRouter`] optionally hash-partitions the keyspace over
+//!   several independent `5f + 1` server groups ("shards" — each its own
+//!   unit of placement and fault isolation), behind the same facade:
+//!   [`KvClusterBuilder::shards`](cluster::KvClusterBuilder::shards) is
+//!   the only knob, and clients, retries, nemesis schedules, and spec
+//!   checking are untouched.
 //!
 //! All of the paper's guarantees lift pointwise: each key is exactly the
 //! register of `sbft-core`, so termination, regularity, and
@@ -32,6 +38,8 @@ pub mod client;
 pub mod cluster;
 pub mod messages;
 pub mod server;
+pub mod shard;
 
 pub use cluster::KvCluster;
 pub use messages::{Key, KvEvent, KvMsg};
+pub use shard::{ShardRouter, ShardedClient, ShardedServer};

@@ -1,0 +1,427 @@
+//! Sharding: hash-partitioning the keyspace across independent server
+//! groups.
+//!
+//! A **shard** is the unit of placement and fault isolation: its own
+//! `n = 5f + 1` server group running the unmodified per-key register
+//! protocol, sharing nothing with the other shards. Keys are assigned to
+//! shards by a fixed multiplicative hash, so routing is stateless and every
+//! client agrees on the placement without coordination. Because each key's
+//! register lives entirely inside one shard's `5f + 1` group, Theorem 1
+//! applies to it verbatim — sharding multiplies capacity without touching
+//! the proof.
+//!
+//! The wrappers in this module keep the inner automata oblivious:
+//! [`ShardedServer`] and [`ShardedClient`] translate between the **global**
+//! pid space of the substrate (shard `s`'s servers at `[s·n, (s+1)·n)`,
+//! clients after all servers) and the **local** pid space each inner
+//! automaton was written for (servers `0..n`, clients `n..`). Traffic that
+//! violates placement — a message for a key the shard does not host, or a
+//! reply from a server outside the key's shard — is dropped at the wrapper,
+//! so a Byzantine server can never reach across a shard boundary.
+
+use rand::rngs::StdRng;
+use sbft_core::config::ClusterConfig;
+use sbft_core::Ts;
+use sbft_labels::LabelingSystem;
+use sbft_net::process::Effects;
+use sbft_net::{Automaton, Ctx, ProcessId, ENV};
+
+use crate::client::KvClient;
+use crate::messages::{Key, KvEvent, KvMsg};
+use crate::server::KvServer;
+
+/// Stateless shard placement: key → shard, and the global↔local pid
+/// arithmetic of the flattened `shards × n + clients` process layout.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardRouter {
+    cfg: ClusterConfig,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` groups of `cfg.n` servers each (clamped to
+    /// at least one shard).
+    pub fn new(cfg: ClusterConfig, shards: usize) -> Self {
+        Self { cfg, shards: shards.max(1) }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard hosting `key`: Fibonacci multiplicative hash so adjacent
+    /// keys spread across shards instead of striping.
+    pub fn shard_of(&self, key: Key) -> usize {
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % self.shards
+    }
+
+    /// Total servers across all shards.
+    pub fn total_servers(&self) -> usize {
+        self.shards * self.cfg.n
+    }
+
+    /// Global pid of client `i` (clients sit after every shard's servers).
+    pub fn client_pid(&self, i: usize) -> ProcessId {
+        self.total_servers() + i
+    }
+
+    /// Global pids of `shard`'s server group.
+    pub fn server_pids(&self, shard: usize) -> std::ops::Range<ProcessId> {
+        shard * self.cfg.n..(shard + 1) * self.cfg.n
+    }
+
+    /// Which shard a global server pid belongs to.
+    pub fn shard_of_server(&self, pid: ProcessId) -> usize {
+        debug_assert!(pid < self.total_servers());
+        pid / self.cfg.n
+    }
+
+    /// Translate a global pid into `shard`'s local pid space: that shard's
+    /// servers map to `0..n`, clients to `n..`; servers of *other* shards
+    /// have no local identity and yield `None`.
+    pub fn to_local(&self, shard: usize, global: ProcessId) -> Option<ProcessId> {
+        let servers = self.total_servers();
+        if global >= servers {
+            Some(self.cfg.n + (global - servers))
+        } else if self.server_pids(shard).contains(&global) {
+            Some(global - shard * self.cfg.n)
+        } else {
+            None
+        }
+    }
+
+    /// Translate `shard`'s local pid back into the global space.
+    pub fn to_global(&self, shard: usize, local: ProcessId) -> ProcessId {
+        if local < self.cfg.n {
+            shard * self.cfg.n + local
+        } else {
+            self.total_servers() + (local - self.cfg.n)
+        }
+    }
+}
+
+/// Replay one inner-automaton dispatch's drained effects onto the outer
+/// context, translating send targets from `shard`-local pids to global.
+fn replay<B: LabelingSystem>(
+    router: &ShardRouter,
+    shard: usize,
+    effects: Effects<KvMsg<Ts<B>>, KvEvent<Ts<B>>>,
+    ctx: &mut Ctx<'_, KvMsg<Ts<B>>, KvEvent<Ts<B>>>,
+) {
+    let (sends, outputs, timers) = effects;
+    for (to, m) in sends {
+        ctx.send(router.to_global(shard, to), m);
+    }
+    for o in outputs {
+        ctx.output(o);
+    }
+    for (delay, tid) in timers {
+        ctx.set_timer(delay, tid);
+    }
+}
+
+/// A storage node of one shard: an unmodified [`KvServer`] behind pid
+/// translation and placement enforcement.
+pub struct ShardedServer<B: LabelingSystem> {
+    /// The wrapped storage node.
+    pub inner: KvServer<B>,
+    router: ShardRouter,
+    shard: usize,
+}
+
+impl<B: LabelingSystem> ShardedServer<B> {
+    /// Wrap `inner` as a member of `shard`'s server group.
+    pub fn new(inner: KvServer<B>, router: ShardRouter, shard: usize) -> Self {
+        Self { inner, router, shard }
+    }
+
+    /// Which shard this node serves.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+impl<B: LabelingSystem> Automaton<KvMsg<Ts<B>>, KvEvent<Ts<B>>> for ShardedServer<B> {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: KvMsg<Ts<B>>,
+        ctx: &mut Ctx<'_, KvMsg<Ts<B>>, KvEvent<Ts<B>>>,
+    ) {
+        // Placement enforcement: this shard only serves its own keys, and
+        // only talks to processes with a local identity here. Anything else
+        // is a misroute or a cross-shard spoof — dropped.
+        if from != ENV && self.router.shard_of(msg.key) != self.shard {
+            return;
+        }
+        let local_from = if from == ENV {
+            ENV
+        } else {
+            match self.router.to_local(self.shard, from) {
+                Some(l) => l,
+                None => return,
+            }
+        };
+        let me = self.router.to_local(self.shard, ctx.me).expect("own pid is in shard");
+        let now = ctx.now;
+        let effects = {
+            let mut inner = Ctx::detached(me, now, ctx.rng());
+            self.inner.on_message(local_from, msg, &mut inner);
+            inner.drain()
+        };
+        replay::<B>(&self.router, self.shard, effects, ctx);
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut Ctx<'_, KvMsg<Ts<B>>, KvEvent<Ts<B>>>) {
+        let me = self.router.to_local(self.shard, ctx.me).expect("own pid is in shard");
+        let now = ctx.now;
+        let effects = {
+            let mut inner = Ctx::detached(me, now, ctx.rng());
+            self.inner.on_timer(id, &mut inner);
+            inner.drain()
+        };
+        replay::<B>(&self.router, self.shard, effects, ctx);
+    }
+
+    fn corrupt(&mut self, rng: &mut StdRng) {
+        self.inner.corrupt(rng);
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// A store client over the full sharded deployment: an unmodified
+/// [`KvClient`] whose per-key broadcasts are routed to the key's shard.
+pub struct ShardedClient<B: LabelingSystem> {
+    /// The wrapped client.
+    pub inner: KvClient<B>,
+    router: ShardRouter,
+}
+
+impl<B: LabelingSystem> ShardedClient<B> {
+    /// Wrap `inner` behind the router.
+    pub fn new(inner: KvClient<B>, router: ShardRouter) -> Self {
+        Self { inner, router }
+    }
+
+    /// Local pid of this client in every shard's local space (`n + i`).
+    fn local_me(&self, ctx_me: ProcessId) -> ProcessId {
+        // Clients sit after all servers globally and after n locally; the
+        // translation is shard-independent, so shard 0 serves for all.
+        self.router.to_local(0, ctx_me).expect("own pid is a client pid")
+    }
+}
+
+impl<B: LabelingSystem> Automaton<KvMsg<Ts<B>>, KvEvent<Ts<B>>> for ShardedClient<B> {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: KvMsg<Ts<B>>,
+        ctx: &mut Ctx<'_, KvMsg<Ts<B>>, KvEvent<Ts<B>>>,
+    ) {
+        // Route by the message's key. Replies must come from a server of
+        // the key's own shard (or the environment); a server answering for
+        // a key it does not host is spoofing across the boundary — dropped.
+        let shard = self.router.shard_of(msg.key);
+        let local_from = if from == ENV {
+            ENV
+        } else if from < self.router.total_servers() {
+            if self.router.shard_of_server(from) != shard {
+                return;
+            }
+            match self.router.to_local(shard, from) {
+                Some(l) => l,
+                None => return,
+            }
+        } else {
+            return; // clients never talk to each other
+        };
+        let me = self.local_me(ctx.me);
+        let now = ctx.now;
+        let effects = {
+            let mut inner = Ctx::detached(me, now, ctx.rng());
+            self.inner.on_message(local_from, msg, &mut inner);
+            inner.drain()
+        };
+        // The inner client's sends are broadcasts to local servers 0..n of
+        // the key's shard — but a single drain may carry sends for several
+        // keys (pipelining), so translate per message by its own key.
+        let (sends, outputs, timers) = effects;
+        for (to, m) in sends {
+            let s = self.router.shard_of(m.key);
+            ctx.send(self.router.to_global(s, to), m);
+        }
+        for o in outputs {
+            ctx.output(o);
+        }
+        for (delay, tid) in timers {
+            ctx.set_timer(delay, tid);
+        }
+    }
+
+    fn on_timer(&mut self, id: u64, ctx: &mut Ctx<'_, KvMsg<Ts<B>>, KvEvent<Ts<B>>>) {
+        let me = self.local_me(ctx.me);
+        let now = ctx.now;
+        let (sends, outputs, timers) = {
+            let mut inner = Ctx::detached(me, now, ctx.rng());
+            self.inner.on_timer(id, &mut inner);
+            inner.drain()
+        };
+        for (to, m) in sends {
+            let s = self.router.shard_of(m.key);
+            ctx.send(self.router.to_global(s, to), m);
+        }
+        for o in outputs {
+            ctx.output(o);
+        }
+        for (delay, tid) in timers {
+            ctx.set_timer(delay, tid);
+        }
+    }
+
+    fn corrupt(&mut self, rng: &mut StdRng) {
+        self.inner.corrupt(rng);
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sbft_core::messages::Msg;
+    use sbft_core::reader::ReaderOptions;
+    use sbft_labels::{BoundedLabeling, MwmrLabeling};
+
+    type B = BoundedLabeling;
+
+    fn router(shards: usize) -> ShardRouter {
+        ShardRouter::new(ClusterConfig::stabilizing(1), shards)
+    }
+
+    #[test]
+    fn placement_arithmetic_round_trips() {
+        let r = router(4); // n = 6, servers 0..24, clients 24..
+        assert_eq!(r.total_servers(), 24);
+        assert_eq!(r.client_pid(0), 24);
+        assert_eq!(r.server_pids(2), 12..18);
+        for g in 0..24 {
+            let s = r.shard_of_server(g);
+            let l = r.to_local(s, g).unwrap();
+            assert!(l < 6);
+            assert_eq!(r.to_global(s, l), g);
+        }
+        // Clients translate in every shard's local space.
+        for shard in 0..4 {
+            assert_eq!(r.to_local(shard, 25), Some(7));
+            assert_eq!(r.to_global(shard, 7), 25);
+        }
+        // A foreign shard's server has no local identity.
+        assert_eq!(r.to_local(0, 12), None);
+    }
+
+    #[test]
+    fn keys_spread_over_all_shards() {
+        let r = router(4);
+        let mut seen = [false; 4];
+        for key in 0..64u64 {
+            let s = r.shard_of(key);
+            assert!(s < 4);
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "{seen:?}");
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_layout() {
+        let r = router(1);
+        let cfg = ClusterConfig::stabilizing(1);
+        assert_eq!(r.total_servers(), cfg.n);
+        assert_eq!(r.client_pid(3), cfg.client_pid(3));
+        for key in 0..32u64 {
+            assert_eq!(r.shard_of(key), 0);
+        }
+    }
+
+    fn sharded_client(shards: usize) -> ShardedClient<B> {
+        let cfg = ClusterConfig::stabilizing(1);
+        let sys = MwmrLabeling::new(BoundedLabeling::new(cfg.label_k()));
+        let inner = KvClient::new(sys, cfg, 7, ReaderOptions::default());
+        ShardedClient::new(inner, router(shards))
+    }
+
+    fn deliver(
+        c: &mut ShardedClient<B>,
+        me: ProcessId,
+        from: ProcessId,
+        msg: KvMsg<Ts<B>>,
+    ) -> Vec<(ProcessId, KvMsg<Ts<B>>)> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Ctx::detached(me, 0, &mut rng);
+        c.on_message(from, msg, &mut ctx);
+        ctx.drain().0
+    }
+
+    #[test]
+    fn client_broadcasts_land_in_the_keys_shard() {
+        let mut c = sharded_client(4);
+        let me = c.router.client_pid(0);
+        let key = 5u64;
+        let shard = c.router.shard_of(key);
+        let out = deliver(&mut c, me, ENV, KvMsg::new(key, Msg::InvokeWrite { value: 1 }));
+        assert_eq!(out.len(), 6);
+        let want = c.router.server_pids(shard);
+        assert!(out.iter().all(|(to, m)| want.contains(to) && m.key == key), "{out:?}");
+    }
+
+    #[test]
+    fn replies_from_foreign_shards_are_dropped() {
+        let mut c = sharded_client(4);
+        let me = c.router.client_pid(0);
+        let key = 5u64;
+        let shard = c.router.shard_of(key);
+        deliver(&mut c, me, ENV, KvMsg::new(key, Msg::InvokeWrite { value: 1 }));
+        // A server of a *different* shard claims a reply for this key.
+        let foreign = c.router.server_pids((shard + 1) % 4).start;
+        let cfg = ClusterConfig::stabilizing(1);
+        let sys: sbft_core::Sys<B> = MwmrLabeling::new(BoundedLabeling::new(cfg.label_k()));
+        let genesis = sys.genesis();
+        let out = deliver(&mut c, me, foreign, KvMsg::new(key, Msg::TsReply { ts: genesis }));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn server_drops_misplaced_keys_and_foreign_servers() {
+        let cfg = ClusterConfig::stabilizing(1);
+        let sys: sbft_core::Sys<B> = MwmrLabeling::new(BoundedLabeling::new(cfg.label_k()));
+        let r = router(4);
+        let key = 5u64;
+        let home = r.shard_of(key);
+        let other = (home + 1) % 4;
+        let mut s = ShardedServer::new(KvServer::new(sys, cfg), r, other);
+        let me = r.server_pids(other).start;
+        let client = r.client_pid(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Ctx::detached(me, 0, &mut rng);
+        // A key this shard does not host: dropped, nothing materializes.
+        s.on_message(client, KvMsg::new(key, Msg::GetTs), &mut ctx);
+        assert_eq!(s.inner.key_count(), 0);
+        // A key it does host, but sent by a foreign shard's server: dropped.
+        let hosted = (0..64).find(|&k| r.shard_of(k) == other).unwrap();
+        let foreign = r.server_pids(home).start;
+        s.on_message(foreign, KvMsg::new(hosted, Msg::GetTs), &mut ctx);
+        assert_eq!(s.inner.key_count(), 0);
+        // The same key from a client: served, reply routed back globally.
+        s.on_message(client, KvMsg::new(hosted, Msg::GetTs), &mut ctx);
+        assert_eq!(s.inner.key_count(), 1);
+        let (sends, _, _) = ctx.drain();
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].0, client);
+    }
+}

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod channel;
 pub mod corruption;
 pub mod metrics;
@@ -44,6 +45,7 @@ pub mod threaded;
 pub mod timer_wheel;
 pub mod trace;
 
+pub use batch::{BatchPolicy, Frame, LinkBatcher};
 pub use channel::{DelayModel, Scheduled};
 pub use corruption::CorruptionSeverity;
 pub use metrics::{LatencyHistogram, NetMetrics};

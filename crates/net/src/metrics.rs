@@ -147,6 +147,12 @@ pub struct NetMetrics {
     pub messages_dropped: u64,
     /// Events processed (deliveries + timers).
     pub events_processed: u64,
+    /// Wire frames handed to channels. With link batching disabled this
+    /// equals [`NetMetrics::messages_sent`]; with batching enabled one frame
+    /// carries up to `max_batch` logical messages.
+    pub frames_sent: u64,
+    /// Wire frames delivered to a live process.
+    pub frames_delivered: u64,
     /// Per-sender message counts.
     pub sent_by: HashMap<ProcessId, u64>,
     /// Per-receiver delivery counts.
@@ -156,12 +162,33 @@ pub struct NetMetrics {
 impl NetMetrics {
     pub(crate) fn record_send(&mut self, from: ProcessId, _to: ProcessId) {
         self.messages_sent += 1;
+        self.frames_sent += 1;
         *self.sent_by.entry(from).or_insert(0) += 1;
+    }
+
+    /// A logical send whose wire frame is accounted separately (the message
+    /// entered a link batcher; [`NetMetrics::record_frame_sent`] fires when
+    /// its frame ships).
+    pub(crate) fn record_logical_send(&mut self, from: ProcessId) {
+        self.messages_sent += 1;
+        *self.sent_by.entry(from).or_insert(0) += 1;
+    }
+
+    pub(crate) fn record_frame_sent(&mut self) {
+        self.frames_sent += 1;
     }
 
     pub(crate) fn record_delivery(&mut self, _from: ProcessId, to: ProcessId) {
         self.messages_delivered += 1;
+        self.frames_delivered += 1;
         *self.received_by.entry(to).or_insert(0) += 1;
+    }
+
+    /// One delivered frame carrying `batched` logical messages.
+    pub(crate) fn record_batch_delivery(&mut self, to: ProcessId, batched: u64) {
+        self.messages_delivered += batched;
+        self.frames_delivered += 1;
+        *self.received_by.entry(to).or_insert(0) += batched;
     }
 
     pub(crate) fn record_drop(&mut self) {
@@ -189,6 +216,8 @@ impl NetMetrics {
             messages_delivered: self.messages_delivered - earlier.messages_delivered,
             messages_dropped: self.messages_dropped - earlier.messages_dropped,
             events_processed: self.events_processed - earlier.events_processed,
+            frames_sent: self.frames_sent - earlier.frames_sent,
+            frames_delivered: self.frames_delivered - earlier.frames_delivered,
             sent_by: HashMap::new(),
             received_by: HashMap::new(),
         }
@@ -214,6 +243,26 @@ mod tests {
         assert_eq!(m.received_by_process(1), 1);
         assert_eq!(m.messages_dropped, 1);
         assert_eq!(m.events_processed, 1);
+        assert_eq!(m.frames_sent, 3, "unbatched sends are one frame each");
+        assert_eq!(m.frames_delivered, 1);
+    }
+
+    #[test]
+    fn batched_frames_split_logical_and_wire_counts() {
+        let mut m = NetMetrics::default();
+        for _ in 0..5 {
+            m.record_logical_send(0);
+        }
+        m.record_frame_sent();
+        m.record_batch_delivery(1, 5);
+        assert_eq!(m.messages_sent, 5);
+        assert_eq!(m.frames_sent, 1);
+        assert_eq!(m.messages_delivered, 5);
+        assert_eq!(m.frames_delivered, 1);
+        assert_eq!(m.received_by_process(1), 5);
+        let d = m.delta_since(&NetMetrics::default());
+        assert_eq!(d.frames_sent, 1);
+        assert_eq!(d.frames_delivered, 1);
     }
 
     #[test]

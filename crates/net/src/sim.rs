@@ -16,6 +16,7 @@ use std::fmt::Debug;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::batch::{BatchPolicy, Frame, LinkBatcher};
 use crate::channel::{ChannelMap, DelayModel, Scheduled};
 use crate::metrics::NetMetrics;
 use crate::nemesis::LinkFault;
@@ -31,6 +32,9 @@ pub struct SimConfig {
     pub delay: DelayModel,
     /// Ring-buffer capacity of the debug trace (0 disables tracing).
     pub trace_capacity: usize,
+    /// Per-link message coalescing policy (disabled by default; disabled
+    /// batching reproduces the exact pre-batching event and RNG streams).
+    pub batch: BatchPolicy,
 }
 
 impl SimConfig {
@@ -50,11 +54,27 @@ impl SimConfig {
         self.trace_capacity = capacity;
         self
     }
+
+    /// Replace the link-batching policy.
+    pub fn with_batching(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
 }
 
 enum EventKind<M> {
-    Deliver { from: ProcessId, to: ProcessId, msg: M },
-    Timer { pid: ProcessId, id: u64, incarnation: u64 },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        frame: Frame<M>,
+    },
+    Timer {
+        pid: ProcessId,
+        id: u64,
+        incarnation: u64,
+    },
+    /// Tick-watermark flush of every pending link batch (batching only).
+    Flush,
 }
 
 struct Queued<M> {
@@ -132,12 +152,17 @@ pub struct Simulation<M, O> {
     /// they were armed under, so timers armed before a restart never fire
     /// into the fresh automaton.
     incarnation: Vec<u64>,
-    channels: ChannelMap<M>,
+    channels: ChannelMap<Frame<M>>,
     rng: StdRng,
     metrics: NetMetrics,
     trace: Trace,
     started: bool,
     halted: bool,
+    batch: BatchPolicy,
+    batcher: LinkBatcher<M>,
+    /// Invariant: whenever the batcher holds pending messages, exactly one
+    /// `Flush` event is queued — so `is_quiet` never lies about liveness.
+    flush_armed: bool,
 }
 
 impl<M, O> Simulation<M, O>
@@ -160,6 +185,9 @@ where
             trace: Trace::new(config.trace_capacity),
             started: false,
             halted: false,
+            batch: config.batch,
+            batcher: LinkBatcher::new(),
+            flush_armed: false,
         }
     }
 
@@ -235,19 +263,32 @@ where
         self.queue.push(Queued { time, seq, kind });
     }
 
-    /// Route one send through the channel map, honoring pauses and link
+    /// Route one frame through the channel map, honoring pauses and link
     /// faults, and enqueue the resulting delivery (and duplicate) events.
-    fn schedule_send(&mut self, from: ProcessId, to: ProcessId, msg: M) {
-        match self.channels.schedule(from, to, self.now, msg, &mut self.rng) {
+    /// Faults act on whole frames: a dropped frame drops every message it
+    /// carries, a duplicated frame delivers all of them twice.
+    fn schedule_send(&mut self, from: ProcessId, to: ProcessId, frame: Frame<M>) {
+        let logical = frame.len();
+        match self.channels.schedule(from, to, self.now, frame, &mut self.rng) {
             Scheduled::Held => {}
-            Scheduled::Dropped => self.metrics.record_drop(),
+            Scheduled::Dropped => {
+                for _ in 0..logical {
+                    self.metrics.record_drop();
+                }
+            }
             Scheduled::Deliver { at, msg, dup_at } => {
                 if let Some(t2) = dup_at {
-                    self.push(t2, EventKind::Deliver { from, to, msg: msg.clone() });
+                    self.push(t2, EventKind::Deliver { from, to, frame: msg.clone() });
                 }
-                self.push(at, EventKind::Deliver { from, to, msg });
+                self.push(at, EventKind::Deliver { from, to, frame: msg });
             }
         }
+    }
+
+    /// Ship a drained link queue as one wire frame.
+    fn send_frame(&mut self, from: ProcessId, to: ProcessId, queue: Vec<M>) {
+        self.metrics.record_frame_sent();
+        self.schedule_send(from, to, Frame::from_queue(queue));
     }
 
     /// Collect effects from a finished callback into the event queue.
@@ -257,8 +298,21 @@ where
                 self.metrics.record_drop();
                 continue;
             }
-            self.metrics.record_send(pid, to);
-            self.schedule_send(pid, to, msg);
+            if self.batch.enabled() {
+                self.metrics.record_logical_send(pid);
+                match self.batcher.push(pid, to, msg, self.batch.max_batch) {
+                    Some(queue) => self.send_frame(pid, to, queue),
+                    None => {
+                        if !self.flush_armed {
+                            self.flush_armed = true;
+                            self.push(self.now + self.batch.flush_ticks, EventKind::Flush);
+                        }
+                    }
+                }
+            } else {
+                self.metrics.record_send(pid, to);
+                self.schedule_send(pid, to, Frame::One(msg));
+            }
         }
         for (delay, id) in timers {
             let incarnation = self.incarnation[pid];
@@ -268,9 +322,10 @@ where
 
     /// Deliver `msg` to `pid` as a command from the environment, after the
     /// usual channel delay (FIFO with respect to earlier commands to `pid`).
+    /// Environment commands never batch: one command, one frame.
     pub fn inject(&mut self, pid: ProcessId, msg: M) {
         self.metrics.record_send(ENV, pid);
-        self.schedule_send(ENV, pid, msg);
+        self.schedule_send(ENV, pid, Frame::One(msg));
     }
 
     /// Place `msgs` in the channel `(from, to)` as if they were already in
@@ -278,7 +333,7 @@ where
     /// corruption of channel contents.
     pub fn preload_channel(&mut self, from: ProcessId, to: ProcessId, msgs: Vec<M>) {
         for msg in msgs {
-            self.schedule_send(from, to, msg);
+            self.schedule_send(from, to, Frame::One(msg));
         }
     }
 
@@ -301,8 +356,8 @@ where
 
     /// Resume the channel, scheduling all held messages FIFO.
     pub fn resume_channel(&mut self, from: ProcessId, to: ProcessId) {
-        for (t, msg) in self.channels.resume(from, to, self.now, &mut self.rng) {
-            self.push(t, EventKind::Deliver { from, to, msg });
+        for (t, frame) in self.channels.resume(from, to, self.now, &mut self.rng) {
+            self.push(t, EventKind::Deliver { from, to, frame });
         }
     }
 
@@ -380,6 +435,8 @@ where
     pub fn halt(&mut self) {
         self.halted = true;
         self.queue.clear();
+        let _ = self.batcher.drain_all();
+        self.flush_armed = false;
     }
 
     /// Apply a transient fault to `pid`'s local state (delegates to the
@@ -418,6 +475,31 @@ where
         self.queue.len()
     }
 
+    /// Apply one frame to a live process: a single message dispatches as
+    /// before; a batch dispatches every carried message through **one**
+    /// shared context, so replies produced while applying the batch coalesce
+    /// into outgoing frames of their own (batch-in → batch-out).
+    fn deliver_frame(&mut self, from: ProcessId, to: ProcessId, frame: Frame<M>) -> Vec<O> {
+        match frame {
+            Frame::One(msg) => {
+                self.metrics.record_delivery(from, to);
+                self.trace.record(self.now, from, to, || format!("{msg:?}"));
+                self.dispatch(to, move |auto, ctx| auto.on_message(from, msg, ctx))
+            }
+            Frame::Batch(msgs) => {
+                self.metrics.record_batch_delivery(to, msgs.len() as u64);
+                for msg in &msgs {
+                    self.trace.record(self.now, from, to, || format!("{msg:?}"));
+                }
+                self.dispatch(to, move |auto, ctx| {
+                    for msg in msgs {
+                        auto.on_message(from, msg, ctx);
+                    }
+                })
+            }
+        }
+    }
+
     /// Process one event. Returns `None` when the queue is empty or the
     /// simulation was halted.
     pub fn step(&mut self) -> Option<SimEvent<O>> {
@@ -428,24 +510,34 @@ where
         let ev = self.queue.pop()?;
         debug_assert!(ev.time >= self.now, "time must be monotone");
         self.now = ev.time;
-        self.metrics.record_event();
         match ev.kind {
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver { from, to, frame } => {
+                self.metrics.record_event();
                 if self.crashed[to] {
-                    self.metrics.record_drop();
+                    for _ in 0..frame.len() {
+                        self.metrics.record_drop();
+                    }
                     return Some(SimEvent { time: self.now, pid: to, outputs: Vec::new() });
                 }
-                self.metrics.record_delivery(from, to);
-                self.trace.record(self.now, from, to, || format!("{msg:?}"));
-                let outputs = self.dispatch(to, move |auto, ctx| auto.on_message(from, msg, ctx));
+                let outputs = self.deliver_frame(from, to, frame);
                 Some(SimEvent { time: self.now, pid: to, outputs })
             }
             EventKind::Timer { pid, id, incarnation } => {
+                self.metrics.record_event();
                 if self.crashed[pid] || incarnation != self.incarnation[pid] {
                     return Some(SimEvent { time: self.now, pid, outputs: Vec::new() });
                 }
                 let outputs = self.dispatch(pid, move |auto, ctx| auto.on_timer(id, ctx));
                 Some(SimEvent { time: self.now, pid, outputs })
+            }
+            EventKind::Flush => {
+                // Tick watermark: ship every pending link queue. Not a
+                // protocol event, so it is excluded from events_processed.
+                self.flush_armed = false;
+                for ((from, to), queue) in self.batcher.drain_all() {
+                    self.send_frame(from, to, queue);
+                }
+                Some(SimEvent { time: self.now, pid: ENV, outputs: Vec::new() })
             }
         }
     }
@@ -475,6 +567,9 @@ where
                         keys.push(EventKey::Timer { pid: *pid, id: *id });
                     }
                 }
+                // Flush events are substrate bookkeeping, not explorable
+                // protocol events (the explorer runs with batching off).
+                EventKind::Flush => {}
             }
         }
         keys.sort_unstable();
@@ -530,16 +625,17 @@ where
         self.now = (self.now + 1).max(ev.time);
         self.metrics.record_event();
         match ev.kind {
-            EventKind::Deliver { from, to, msg } => {
-                self.metrics.record_delivery(from, to);
-                self.trace.record(self.now, from, to, || format!("{msg:?}"));
-                let outputs = self.dispatch(to, move |auto, ctx| auto.on_message(from, msg, ctx));
+            EventKind::Deliver { from, to, frame } => {
+                let outputs = self.deliver_frame(from, to, frame);
                 Some(SimEvent { time: self.now, pid: to, outputs })
             }
             EventKind::Timer { pid, id, .. } => {
                 let outputs = self.dispatch(pid, move |auto, ctx| auto.on_timer(id, ctx));
                 Some(SimEvent { time: self.now, pid, outputs })
             }
+            // No EventKey ever matches a Flush entry, so one can never be
+            // selected above.
+            EventKind::Flush => unreachable!("flush events are not key-addressable"),
         }
     }
 
@@ -883,6 +979,98 @@ mod tests {
             (outputs, sim.metrics().messages_delivered, sim.metrics().messages_sent)
         };
         assert_eq!(run(&[0]), run(&[1, 0, 1]), "schedule choice must not change outcomes");
+    }
+
+    /// Fans `msg` messages 0..msg to process 1 on an env command.
+    struct Fan;
+    impl Automaton<u32, u32> for Fan {
+        fn on_message(&mut self, from: ProcessId, msg: u32, ctx: &mut Ctx<'_, u32, u32>) {
+            if from == ENV {
+                for i in 0..msg {
+                    ctx.send(1, i);
+                }
+            }
+        }
+    }
+    /// Outputs every message it receives, in arrival order.
+    struct Echo;
+    impl Automaton<u32, u32> for Echo {
+        fn on_message(&mut self, _from: ProcessId, msg: u32, ctx: &mut Ctx<'_, u32, u32>) {
+            ctx.output(msg);
+        }
+    }
+
+    fn fan_outputs(batch: BatchPolicy) -> (Vec<u32>, NetMetrics) {
+        let mut sim: Simulation<u32, u32> =
+            Simulation::new(SimConfig::seeded(13).with_batching(batch));
+        sim.add_process(Box::new(Fan));
+        sim.add_process(Box::new(Echo));
+        sim.inject(0, 10);
+        let out = sim.run_until_quiet(10_000);
+        (out.into_iter().map(|(_, _, o)| o).collect(), sim.metrics().clone())
+    }
+
+    #[test]
+    fn batching_coalesces_frames_without_reordering() {
+        let (plain, pm) = fan_outputs(BatchPolicy::disabled());
+        let (batched, bm) = fan_outputs(BatchPolicy::new(4, 2));
+        assert_eq!(plain, (0..10).collect::<Vec<u32>>());
+        assert_eq!(batched, plain, "batching must not reorder a link");
+        // 1 injected command + 10 fanned messages, in both runs.
+        assert_eq!(pm.messages_sent, 11);
+        assert_eq!(bm.messages_sent, 11);
+        assert_eq!(bm.messages_delivered, 11);
+        assert_eq!(pm.frames_sent, 11, "unbatched: one frame per message");
+        // Batched: inject frame + two full 4-frames + one flushed 2-frame.
+        assert_eq!(bm.frames_sent, 4);
+        assert_eq!(bm.frames_delivered, 4);
+    }
+
+    #[test]
+    fn tick_watermark_flushes_stragglers() {
+        // A single sub-watermark message must still arrive (via Flush).
+        let mut sim: Simulation<u32, u32> =
+            Simulation::new(SimConfig::seeded(1).with_batching(BatchPolicy::new(64, 3)));
+        sim.add_process(Box::new(Fan));
+        sim.add_process(Box::new(Echo));
+        sim.inject(0, 1);
+        let out = sim.run_until_quiet(1_000);
+        assert_eq!(out.len(), 1, "pending batch must flush on the tick watermark");
+        assert!(sim.is_quiet());
+        assert_eq!(sim.metrics().frames_delivered, 2); // inject + flushed frame
+    }
+
+    #[test]
+    fn batched_runs_are_deterministic_per_seed() {
+        // Ping-pong is strictly sequential, so batching only re-frames.
+        let run = || {
+            let mut sim: Simulation<u32, u32> =
+                Simulation::new(SimConfig::seeded(21).with_batching(BatchPolicy::new(8, 2)));
+            sim.add_process(Box::new(PingPong));
+            sim.add_process(Box::new(PingPong));
+            sim.inject(0, 12);
+            let outs = sim.run_until_quiet(10_000);
+            let m = sim.metrics();
+            (outs, m.messages_delivered, m.frames_delivered)
+        };
+        assert_eq!(run(), run(), "same seed + same policy must replay exactly");
+        let (_, delivered, frames) = run();
+        assert_eq!(delivered, 13, "logical count matches the unbatched protocol");
+        assert_eq!(frames, 13, "sequential traffic never coalesces");
+    }
+
+    #[test]
+    fn crashed_destination_drops_whole_frames() {
+        let mut sim: Simulation<u32, u32> =
+            Simulation::new(SimConfig::seeded(2).with_batching(BatchPolicy::new(4, 2)));
+        sim.add_process(Box::new(Fan));
+        sim.add_process(Box::new(Echo));
+        sim.crash(1);
+        sim.inject(0, 8);
+        let out = sim.run_until_quiet(1_000);
+        assert!(out.is_empty());
+        assert_eq!(sim.metrics().messages_dropped, 8, "every batched message counts as dropped");
+        assert!(sim.is_quiet());
     }
 
     #[test]

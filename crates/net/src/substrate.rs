@@ -16,6 +16,7 @@ use std::time::Duration;
 
 use rand::rngs::StdRng;
 
+use crate::batch::BatchPolicy;
 use crate::channel::DelayModel;
 use crate::corruption::FaultPlan;
 use crate::metrics::NetMetrics;
@@ -55,6 +56,9 @@ pub struct SubstrateConfig {
     pub pump_timeout: Duration,
     /// Bound on waiting for worker threads to exit during stop/drop.
     pub join_timeout: Duration,
+    /// Per-link message coalescing policy (both substrates; disabled by
+    /// default so seeded executions are unchanged).
+    pub batch: BatchPolicy,
 }
 
 impl Default for SubstrateConfig {
@@ -66,6 +70,7 @@ impl Default for SubstrateConfig {
             tick: Duration::from_micros(100),
             pump_timeout: Duration::from_millis(100),
             join_timeout: Duration::from_secs(5),
+            batch: BatchPolicy::disabled(),
         }
     }
 }
@@ -103,9 +108,20 @@ impl SubstrateConfig {
         self
     }
 
+    /// Replace the link-batching policy.
+    pub fn with_batching(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
     /// The simulator subset of this config.
     pub fn sim_config(&self) -> SimConfig {
-        SimConfig { seed: self.seed, delay: self.delay, trace_capacity: self.trace_capacity }
+        SimConfig {
+            seed: self.seed,
+            delay: self.delay,
+            trace_capacity: self.trace_capacity,
+            batch: self.batch,
+        }
     }
 }
 
@@ -399,6 +415,11 @@ where
 
 /// Runtime-selected substrate: the concrete type a driver stores when the
 /// backend is chosen by configuration rather than at compile time.
+///
+/// The variants differ in size (the simulator carries its scheduler and
+/// per-link batching state inline), but drivers hold exactly one of these
+/// for a whole run, so the extra bytes in the threaded case don't matter.
+#[allow(clippy::large_enum_variant)]
 pub enum AnySubstrate<M, O> {
     /// Simulator-backed.
     Sim(Simulation<M, O>),

@@ -59,6 +59,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::batch::{BatchPolicy, LinkBatcher};
 use crate::corruption::FaultPlan;
 use crate::metrics::NetMetrics;
 use crate::nemesis::LinkFault;
@@ -72,12 +73,21 @@ enum Ctl<M, O> {
         from: ProcessId,
         msg: M,
     },
+    /// One wire frame carrying ≥ 2 coalesced messages from the same
+    /// directed link, in send order (batching only).
+    Batch {
+        from: ProcessId,
+        msgs: Vec<M>,
+    },
     /// A timer firing routed back from the wheel; `incarnation` tags the
     /// worker lifetime that armed it so stale firings die on receipt.
     Timer {
         id: u64,
         incarnation: u64,
     },
+    /// Tick-watermark flush of the worker's own pending link batches,
+    /// routed back from the wheel (batching only).
+    FlushLinks,
     Corrupt,
     Crash,
     Restart(Box<dyn Automaton<M, O>>),
@@ -202,6 +212,8 @@ struct SharedMetrics {
     delivered: AtomicU64,
     dropped: AtomicU64,
     events: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_delivered: AtomicU64,
     sent_by: Vec<AtomicU64>,
     received_by: Vec<AtomicU64>,
 }
@@ -213,6 +225,8 @@ impl SharedMetrics {
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             events: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
+            frames_delivered: AtomicU64::new(0),
             sent_by: (0..=n).map(|_| AtomicU64::new(0)).collect(),
             received_by: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -220,13 +234,33 @@ impl SharedMetrics {
 
     fn record_send(&self, from: ProcessId) {
         self.sent.fetch_add(1, Ordering::Relaxed);
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
         let slot = if from == ENV { self.sent_by.len() - 1 } else { from };
         self.sent_by[slot].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A logical send whose wire frame is accounted when the frame ships.
+    fn record_logical_send(&self, from: ProcessId) {
+        self.sent.fetch_add(1, Ordering::Relaxed);
+        let slot = if from == ENV { self.sent_by.len() - 1 } else { from };
+        self.sent_by[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_frame_sent(&self) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn record_delivery(&self, to: ProcessId) {
         self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.frames_delivered.fetch_add(1, Ordering::Relaxed);
         self.received_by[to].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One delivered frame carrying `batched` logical messages.
+    fn record_batch_delivery(&self, to: ProcessId, batched: u64) {
+        self.delivered.fetch_add(batched, Ordering::Relaxed);
+        self.frames_delivered.fetch_add(1, Ordering::Relaxed);
+        self.received_by[to].fetch_add(batched, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> NetMetrics {
@@ -235,6 +269,8 @@ impl SharedMetrics {
             messages_delivered: self.delivered.load(Ordering::Relaxed),
             messages_dropped: self.dropped.load(Ordering::Relaxed),
             events_processed: self.events.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_delivered: self.frames_delivered.load(Ordering::Relaxed),
             ..NetMetrics::default()
         };
         let env_slot = self.sent_by.len() - 1;
@@ -413,6 +449,13 @@ struct Worker<M, O> {
     /// Peers with a parked receiver awaiting a wake at the end of the
     /// current dispatch (reused across dispatches to avoid allocation).
     wake_buf: Vec<ProcessId>,
+    /// Per-link coalescing policy (disabled ⇒ the pre-batching hot path).
+    batch: BatchPolicy,
+    /// This worker's pending outgoing link queues (batching only).
+    batcher: LinkBatcher<M>,
+    /// Whether a `FlushLinks` wheel entry is outstanding; pending batched
+    /// messages always have one, so they cannot linger unsent.
+    flush_armed: bool,
 }
 
 impl<M, O> Worker<M, O>
@@ -479,6 +522,44 @@ where
                     let now = self.ticks();
                     self.dispatch(now, |auto, ctx| auto.on_timer(id, ctx));
                 }
+                Ok(Ctl::FlushLinks) => {
+                    // Tick watermark: ship every pending link queue. Pending
+                    // batches are messages already in the channel, so they
+                    // flush even while this worker is crashed — a crashed
+                    // *destination* drops them on receipt, as usual.
+                    self.flush_armed = false;
+                    let now = self.ticks();
+                    for ((_, to), queue) in self.batcher.drain_all() {
+                        self.send_frame(to, queue, now);
+                    }
+                    for to in self.wake_buf.drain(..) {
+                        self.peers[to].wake();
+                    }
+                }
+                Ok(Ctl::Batch { from, msgs }) => {
+                    if crashed {
+                        self.metrics.dropped.fetch_add(msgs.len() as u64, Ordering::Relaxed);
+                        continue;
+                    }
+                    self.metrics.events.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.record_batch_delivery(self.pid, msgs.len() as u64);
+                    let now = self.ticks();
+                    if let Some(trace) = &self.trace {
+                        if let Ok(mut t) = trace.lock() {
+                            for msg in &msgs {
+                                t.record(now, from, self.pid, || format!("{msg:?}"));
+                            }
+                        }
+                    }
+                    // One shared context for the whole frame: replies and
+                    // acks produced while applying it coalesce into outgoing
+                    // frames of their own (batch-in → batch-out).
+                    self.dispatch(now, |auto, ctx| {
+                        for msg in msgs {
+                            auto.on_message(from, msg, ctx);
+                        }
+                    });
+                }
                 Ok(Ctl::Msg { from, msg }) => {
                     if crashed {
                         self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
@@ -506,6 +587,26 @@ where
         for (to, msg) in outbox {
             if to >= self.peers.len() {
                 self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if self.batch.enabled() {
+                // Batching path: the logical send is counted now, the wire
+                // frame when its queue ships (size watermark here, tick
+                // watermark via the FlushLinks wheel entry).
+                self.metrics.record_logical_send(self.pid);
+                match self.batcher.push(self.pid, to, msg, self.batch.max_batch) {
+                    Some(queue) => self.send_frame(to, queue, now),
+                    None => {
+                        if !self.flush_armed {
+                            self.flush_armed = true;
+                            let fire = now + self.batch.flush_ticks;
+                            let tx = self.self_tx.clone();
+                            self.wheel.register(fire, move || {
+                                let _ = tx.send(Ctl::FlushLinks);
+                            });
+                        }
+                    }
+                }
                 continue;
             }
             // The message is handed to the (possibly faulty) channel, so
@@ -574,6 +675,56 @@ where
             self.wheel.register(fire, move || {
                 let _ = tx.send(Ctl::Timer { id, incarnation });
             });
+        }
+    }
+
+    /// Ship a drained link queue to `to` as one wire frame. Link faults act
+    /// on whole frames: a dropped frame drops every carried message, a
+    /// duplicated frame delivers all of them twice, a delayed frame defers
+    /// through the wheel behind the link's FIFO clamp exactly like a single
+    /// message. Wakes land in `wake_buf`; every caller drains it afterward.
+    fn send_frame(&mut self, to: ProcessId, queue: Vec<M>, now: u64) {
+        fn pack<M, O>(from: ProcessId, mut q: Vec<M>) -> Ctl<M, O> {
+            if q.len() == 1 {
+                Ctl::Msg { from, msg: q.pop().expect("len checked") }
+            } else {
+                Ctl::Batch { from, msgs: q }
+            }
+        }
+        self.metrics.record_frame_sent();
+        let logical = queue.len() as u64;
+        match self.links.plan(self.pid, to, now, &mut self.rng) {
+            SendPlan::Direct { dup } => {
+                if dup {
+                    let _ = self.peers[to].send_quiet(pack(self.pid, queue.clone()));
+                }
+                if let Ok(parked) = self.peers[to].send_quiet(pack(self.pid, queue)) {
+                    if parked && !self.wake_buf.contains(&to) {
+                        self.wake_buf.push(to);
+                    }
+                }
+            }
+            SendPlan::Dropped => {
+                self.metrics.dropped.fetch_add(logical, Ordering::Relaxed);
+            }
+            SendPlan::Defer { at, dup_at } => {
+                let from = self.pid;
+                if let Some(at2) = dup_at {
+                    let tx = self.peers[to].clone();
+                    let links = Arc::clone(&self.links);
+                    let queue2 = queue.clone();
+                    self.wheel.register(at2, move || {
+                        let _ = tx.send(pack(from, queue2));
+                        links.deferred_done(from, to);
+                    });
+                }
+                let tx = self.peers[to].clone();
+                let links = Arc::clone(&self.links);
+                self.wheel.register(at, move || {
+                    let _ = tx.send(pack(from, queue));
+                    links.deferred_done(from, to);
+                });
+            }
         }
     }
 }
@@ -650,6 +801,9 @@ where
                 ),
                 incarnation: 0,
                 wake_buf: Vec::new(),
+                batch: config.batch,
+                batcher: LinkBatcher::new(),
+                flush_armed: false,
             };
             let latch = Arc::clone(&latch);
             handles.push(std::thread::spawn(move || worker.run(latch)));
@@ -1104,6 +1258,89 @@ mod tests {
         // The delayed link still delivers (later), preserving the reply.
         let second = cluster.recv_output(0, Duration::from_secs(10));
         assert_eq!(second, Some(1), "delayed link must still deliver");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn batching_coalesces_frames_and_preserves_fifo_on_threads() {
+        /// Collects payloads; outputs the arrival order once all 60 landed.
+        struct Collect(Vec<u32>);
+        impl Automaton<Ping, Vec<u32>> for Collect {
+            fn on_message(
+                &mut self,
+                _from: ProcessId,
+                msg: Ping,
+                ctx: &mut Ctx<'_, Ping, Vec<u32>>,
+            ) {
+                self.0.push(msg.0);
+                if self.0.len() == 60 {
+                    ctx.output(self.0.clone());
+                }
+            }
+        }
+        /// Fans each env command into three forwarded payloads, so one
+        /// dispatch queues several messages on the same link.
+        struct Fan3;
+        impl Automaton<Ping, Vec<u32>> for Fan3 {
+            fn on_message(
+                &mut self,
+                from: ProcessId,
+                msg: Ping,
+                ctx: &mut Ctx<'_, Ping, Vec<u32>>,
+            ) {
+                if from == ENV {
+                    for k in 0..3 {
+                        ctx.send(1, Ping(msg.0 * 3 + k));
+                    }
+                }
+            }
+        }
+        let cluster: ThreadedCluster<Ping, Vec<u32>> = ThreadedCluster::spawn_with(
+            vec![Box::new(Fan3), Box::new(Collect(Vec::new()))],
+            &SubstrateConfig::seeded(19)
+                .with_tick(Duration::from_micros(200))
+                .with_batching(BatchPolicy::new(6, 2)),
+        );
+        for i in 0..20 {
+            cluster.send(0, Ping(i));
+        }
+        let got = cluster.recv_output(1, Duration::from_secs(10)).expect("all 60 delivered");
+        assert_eq!(got, (0..60).collect::<Vec<u32>>(), "batching must not reorder a link");
+        let m = cluster.metrics_snapshot();
+        // 20 env commands + 60 forwards, all delivered.
+        assert_eq!(m.messages_sent, 80, "{m:?}");
+        assert_eq!(m.messages_delivered, 80, "{m:?}");
+        assert!(
+            m.frames_delivered < m.messages_delivered,
+            "forwarded traffic must coalesce: {m:?}"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tick_watermark_flushes_stragglers_on_threads() {
+        struct Fwd;
+        impl Automaton<Ping, u32> for Fwd {
+            fn on_message(&mut self, from: ProcessId, msg: Ping, ctx: &mut Ctx<'_, Ping, u32>) {
+                if from == ENV {
+                    ctx.send(1, msg);
+                }
+            }
+        }
+        struct Echo;
+        impl Automaton<Ping, u32> for Echo {
+            fn on_message(&mut self, _from: ProcessId, msg: Ping, ctx: &mut Ctx<'_, Ping, u32>) {
+                ctx.output(msg.0);
+            }
+        }
+        let cluster: ThreadedCluster<Ping, u32> = ThreadedCluster::spawn_with(
+            vec![Box::new(Fwd), Box::new(Echo)],
+            &SubstrateConfig::seeded(23).with_batching(BatchPolicy::new(64, 2)),
+        );
+        // One message far below the size watermark must still arrive.
+        cluster.send(0, Ping(99));
+        let got = cluster.recv_output(1, Duration::from_secs(5));
+        assert_eq!(got, Some(99), "pending batch must flush on the tick watermark");
         cluster.shutdown();
     }
 

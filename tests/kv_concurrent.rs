@@ -80,6 +80,30 @@ fn concurrent_put_and_get_on_the_same_key_satisfy_regularity() {
 }
 
 #[test]
+fn concurrent_writers_across_shards_stay_regular() {
+    let mut store = KvCluster::bounded(1).shards(4).clients(2).seed(44).build();
+    let (a, b) = (store.client(0), store.client(1));
+    // Find two keys the router places on different shards (any small scan
+    // succeeds: the Fibonacci hash spreads consecutive keys widely).
+    let key_a = 0u64;
+    let key_b = (1..64u64)
+        .find(|k| store.router.shard_of(*k) != store.router.shard_of(key_a))
+        .expect("some key must land on another shard");
+    // Truly concurrent puts served by two disjoint server groups.
+    let evs = pump_two(&mut store, (a, key_a, Some(111)), (b, key_b, Some(222)));
+    assert_eq!(evs.len(), 2, "both cross-shard puts must complete");
+    assert_eq!(store.get(a, key_b).unwrap(), 222);
+    assert_eq!(store.get(b, key_a).unwrap(), 111);
+    // And a same-key race on the sharded store: regularity still holds.
+    let evs = pump_two(&mut store, (a, key_a, Some(7)), (b, key_a, None));
+    assert_eq!(evs.len(), 2, "same-key put/get race must complete");
+    assert!(store.check_all_histories().is_ok());
+    let verdicts = store.check_per_shard();
+    assert!(verdicts.len() >= 2, "keys must span at least two shards: {verdicts:?}");
+    assert!(verdicts.values().all(|v| v.is_regular()), "{verdicts:?}");
+}
+
+#[test]
 fn interleaved_keys_under_churn_stay_regular() {
     let mut store = KvCluster::bounded(1).clients(2).seed(33).build();
     let (a, b) = (store.client(0), store.client(1));
