@@ -10,6 +10,7 @@
 //! harness mobile         # E17 mobile-Byzantine frontier; writes BENCH_e17.json
 //! harness recover        # E18 damaged-disk crash recovery; writes BENCH_e18.json
 //! harness scale          # E19 shard × batching scale sweep; writes BENCH_e19.json
+//! harness e20            # E20 parallel exploration sweep; writes BENCH_e20.json
 //! ```
 //!
 //! `load` accepts `--clients N` (default 4), `--ops N` (default 400) and
@@ -36,7 +37,14 @@
 //! writes the found-and-shrunk Theorem 1 counterexample to
 //! `E16_counterexample.trace`; `explore --replay <file>` re-executes a
 //! trace file verbatim and exits non-zero unless the recorded violation
-//! reproduces.
+//! reproduces. With `--jobs N`, `--scenario <name>`, or `--dedup` the
+//! exploration runs on the E20 work-stealing engine instead: `--jobs N`
+//! worker threads, optional state-hash dedup, and `--scenario` narrowing
+//! the sweep to one named scenario (unknown names list the valid ones).
+//!
+//! `e20` runs the full parallel-exploration sweep (jobs × dedup ×
+//! scenario, with the Theorem 1 rediscovery cells) and writes
+//! `BENCH_e20.json`.
 
 use sbft_bench::*;
 
@@ -146,14 +154,47 @@ fn main() {
                 }
             }
         } else {
-            let out = e16_explore::run(quick);
-            emit(out.table);
-            if let Some(trace) = out.counterexample {
-                match std::fs::write("E16_counterexample.trace", &trace) {
-                    Ok(()) => eprintln!("wrote E16_counterexample.trace"),
-                    Err(e) => eprintln!("could not write E16_counterexample.trace: {e}"),
+            let jobs = args
+                .iter()
+                .position(|a| a == "--jobs")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<usize>().ok());
+            let scenario =
+                args.iter().position(|a| a == "--scenario").and_then(|i| args.get(i + 1)).cloned();
+            let dedup = args.iter().any(|a| a == "--dedup");
+            if jobs.is_some() || scenario.is_some() || dedup {
+                // Parallel / single-scenario exploration (E20 engine).
+                match e20_parallel::explore_cli(
+                    scenario.as_deref(),
+                    quick,
+                    jobs.unwrap_or(1),
+                    dedup,
+                ) {
+                    Ok(t) => emit(t),
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                let out = e16_explore::run(quick);
+                emit(out.table);
+                if let Some(trace) = out.counterexample {
+                    match std::fs::write("E16_counterexample.trace", &trace) {
+                        Ok(()) => eprintln!("wrote E16_counterexample.trace"),
+                        Err(e) => eprintln!("could not write E16_counterexample.trace: {e}"),
+                    }
                 }
             }
+        }
+    }
+    if want("e20") {
+        let cells = e20_parallel::run_cells(quick);
+        emit(e20_parallel::table(&cells));
+        let json = e20_parallel::to_json(&cells);
+        match std::fs::write("BENCH_e20.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_e20.json ({} cells)", cells.len()),
+            Err(e) => eprintln!("could not write BENCH_e20.json: {e}"),
         }
     }
     if want("e17") || arg == "mobile" {
@@ -203,7 +244,7 @@ fn main() {
 
     if !printed {
         eprintln!(
-            "unknown experiment {arg:?}; use all | quick | e1..e19 | load | explore | mobile | recover | scale | ablations [--csv|--quick|--clients N|--replay FILE]"
+            "unknown experiment {arg:?}; use all | quick | e1..e20 | load | explore | mobile | recover | scale | ablations [--csv|--quick|--clients N|--replay FILE|--jobs N|--scenario NAME|--dedup]"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,130 @@
+//! State-hash deduplication with sleep-set subsumption.
+//!
+//! Sleep sets already collapse *equivalent* interleavings (reorderings of
+//! independent events), so a naive exact-state cache has a near-zero hit
+//! rate inside one subtree: the schedules that survive pruning reach
+//! distinct states or carry distinct sleep sets. The convergence worth
+//! catching is between **inequivalent** traces that happen to rebuild the
+//! same system state — and those arrive with *different* sleep sets, so
+//! the cache key cannot demand sleep-set equality.
+//!
+//! This is Godefroid's state caching with sleep sets: at a node with state
+//! digest `d`, depth `n`, and sleep set `S`, the subtree explored is
+//! exactly the futures whose first move is awake — and that subtree is
+//! *antitone* in `S` (a larger sleep set explores a subset: candidates
+//! shrink, and by induction every child and sibling sleep set only grows).
+//! So if some earlier expansion at `(d, n)` ran with sleep `S' ⊆ S`, every
+//! future reachable here is reachable there, and this node can be skipped
+//! without losing any violation *description* (the schedules differ — they
+//! have different prefixes — but the violating states are the same).
+//!
+//! Depth is part of the key because the explorer's budgets are
+//! depth-indexed: two equal states at different depths have different
+//! remaining `max_steps` and different `branch_depth` forking behavior.
+//!
+//! **Determinism caveat**: which node of an equal-state pair gets expanded
+//! depends on arrival order, which under work stealing depends on thread
+//! interleaving. Violation-description coverage is arrival-order-invariant
+//! (by the subsumption argument above), but transition/schedule counts are
+//! not — so [`crate::explore_parallel`] guarantees bit-identical stats
+//! across worker counts only with dedup off. See DESIGN.md §14.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use sbft_net::EventKey;
+
+/// Shard count for the seen-set: bounds lock contention without any
+/// cross-shard coordination (a digest always maps to the same shard).
+const SHARDS: usize = 16;
+
+/// A concurrent seen-set of `(state digest, depth) → expanded sleep sets`.
+///
+/// Recorded sleep sets are kept as an append-only list per key; an
+/// insertion whose sleep set is subsumed by a recorded one reports a hit
+/// instead of inserting. Lists stay short in practice (most keys see one
+/// or two distinct sleep sets), so a linear subsumption scan beats any
+/// index structure here.
+type Shard = Mutex<HashMap<(u64, usize), Vec<Box<[EventKey]>>>>;
+
+pub(crate) struct SeenSet {
+    shards: Vec<Shard>,
+}
+
+impl SeenSet {
+    pub(crate) fn new() -> Self {
+        SeenSet { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+    }
+
+    /// Returns `true` when a sleep set previously recorded at
+    /// `(digest, depth)` is a subset of `sleep` — the caller's subtree is
+    /// covered by that earlier expansion and must be skipped. Otherwise
+    /// records `sleep` (claiming the expansion the caller is about to do)
+    /// and returns `false`. `sleep` must be sorted and duplicate-free (the
+    /// `Branch` invariant).
+    pub(crate) fn subsumed_or_insert(&self, digest: u64, depth: usize, sleep: &[EventKey]) -> bool {
+        let shard = &self.shards[(digest as usize) % SHARDS];
+        let mut map = shard.lock().unwrap();
+        let entry = map.entry((digest, depth)).or_default();
+        if entry.iter().any(|seen| is_subset(seen, sleep)) {
+            return true;
+        }
+        entry.push(sleep.to_vec().into_boxed_slice());
+        false
+    }
+}
+
+/// `a ⊆ b` for sorted, duplicate-free slices — one merge walk.
+fn is_subset(a: &[EventKey], b: &[EventKey]) -> bool {
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if b.get(j) != Some(&x) {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan(from: usize, to: usize) -> EventKey {
+        EventKey::Channel { from, to }
+    }
+
+    #[test]
+    fn subset_on_sorted_slices() {
+        let a = [chan(0, 1), chan(1, 2)];
+        let b = [chan(0, 1), chan(0, 2), chan(1, 2)];
+        assert!(is_subset(&a, &b));
+        assert!(!is_subset(&b, &a));
+        assert!(is_subset(&[], &a));
+        assert!(is_subset(&a, &a));
+        assert!(!is_subset(&[chan(5, 5)], &b));
+    }
+
+    #[test]
+    fn seen_set_subsumption_semantics() {
+        let seen = SeenSet::new();
+        let s1 = [chan(0, 1)];
+        let s2 = [chan(0, 1), chan(0, 2)];
+        // First arrival at a key always expands.
+        assert!(!seen.subsumed_or_insert(7, 3, &s1));
+        // Equal sleep set: subsumed.
+        assert!(seen.subsumed_or_insert(7, 3, &s1));
+        // Superset sleep set: subsumed (its subtree is smaller).
+        assert!(seen.subsumed_or_insert(7, 3, &s2));
+        // Subset sleep set: NOT subsumed — it explores more than what was
+        // recorded, so it must expand (and is recorded in turn).
+        assert!(!seen.subsumed_or_insert(7, 3, &[]));
+        assert!(seen.subsumed_or_insert(7, 3, &[]));
+        // Different depth or digest: independent keys.
+        assert!(!seen.subsumed_or_insert(7, 4, &s1));
+        assert!(!seen.subsumed_or_insert(8, 3, &s1));
+    }
+}

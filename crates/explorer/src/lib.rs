@@ -43,7 +43,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dedup;
+pub mod parallel;
 pub mod scenario;
+
+pub use parallel::{explore_parallel, shrink_parallel, ParallelConfig};
 
 use sbft_net::{EventKey, ProcessId, ENV};
 
@@ -87,6 +91,17 @@ pub trait ScenarioRun {
     /// a quiescent network with operations still open means some op can
     /// never complete; only checkable when `!bounded`).
     fn finish(&mut self, bounded: bool) -> Option<String>;
+    /// Stable fingerprint of the complete current state, or `None` when the
+    /// state cannot be soundly summarized (e.g. hidden nondeterminism such
+    /// as pending RNG draws). Contract: within one scenario, two runs with
+    /// equal digests after schedules of equal length behave identically
+    /// under every future key sequence — same [`Self::enabled`] sets, same
+    /// [`Self::step`] results, same [`Self::finish`] verdicts. The parallel
+    /// explorer keys its state-hash dedup on this; the default `None`
+    /// disables dedup at the node (always sound, never prunes).
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Exploration bounds and toggles.
@@ -134,6 +149,15 @@ pub struct ExploreStats {
     pub max_depth: usize,
     /// Whether the `max_schedules` cap cut the exploration short.
     pub hit_schedule_cap: bool,
+    /// Subtrees skipped by state-hash dedup: an equal-state node at the
+    /// same depth whose recorded sleep set is a subset of this one was
+    /// already expanded, so every future explored here would be explored
+    /// there. Always 0 in the sequential explorer and with dedup off.
+    pub deduped: u64,
+    /// Nodes where a state digest was computed and looked up in the dedup
+    /// seen-set (hit rate = `deduped / dedup_checks`). Always 0 in the
+    /// sequential explorer and with dedup off.
+    pub dedup_checks: u64,
 }
 
 /// A schedule that broke an invariant: the exact `EventKey` sequence from
@@ -173,10 +197,71 @@ pub fn independent(a: EventKey, b: EventKey) -> bool {
 }
 
 /// One pending DFS branch: a schedule prefix to replay plus the sleep set
-/// it inherited at its fork point.
-struct Branch {
-    prefix: Vec<EventKey>,
-    sleep: Vec<EventKey>,
+/// it inherited at its fork point. Because replay by [`EventKey`] is exact,
+/// a `Branch` is fully self-contained — any worker can pick it up, replay
+/// the prefix on a fresh [`Scenario::start`], and own the subtree.
+///
+/// Invariant: `sleep` is sorted ascending and duplicate-free. The root
+/// starts empty, sibling sets are built by sorted merge
+/// ([`sibling_sleep`]), and the in-place `retain` filter preserves order,
+/// so the invariant holds everywhere without re-sorting.
+pub(crate) struct Branch {
+    pub(crate) prefix: Vec<EventKey>,
+    pub(crate) sleep: Vec<EventKey>,
+}
+
+/// `enabled \ sleep` in a single merge walk — both inputs are sorted
+/// ascending and duplicate-free (`enabled` by `Simulation::enabled_events`,
+/// `sleep` by the [`Branch`] invariant), so this replaces the former
+/// per-candidate `sleep.contains` linear scan on the innermost loop.
+pub(crate) fn awake_candidates(enabled: &[EventKey], sleep: &[EventKey]) -> Vec<EventKey> {
+    let mut out = Vec::with_capacity(enabled.len());
+    let mut s = 0;
+    for &e in enabled {
+        while s < sleep.len() && sleep[s] < e {
+            s += 1;
+        }
+        if sleep.get(s) != Some(&e) {
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// The sleep set a sibling branch inherits: everything the node already
+/// slept on plus the siblings explored before it, filtered to what stays
+/// independent of the sibling's first move `of`. `sleep` and `explored`
+/// are sorted and disjoint (explored candidates are awake by definition),
+/// so a sorted merge replaces the former `O(|sleep|·|candidates|)`
+/// chain-and-filter and keeps the output sorted for free.
+pub(crate) fn sibling_sleep(
+    sleep: &[EventKey],
+    explored: &[EventKey],
+    of: EventKey,
+) -> Vec<EventKey> {
+    let mut out = Vec::with_capacity(sleep.len() + explored.len());
+    let (mut a, mut b) = (0, 0);
+    loop {
+        let next = match (sleep.get(a), explored.get(b)) {
+            (Some(&x), Some(&y)) if x <= y => {
+                a += 1;
+                x
+            }
+            (_, Some(&y)) => {
+                b += 1;
+                y
+            }
+            (Some(&x), None) => {
+                a += 1;
+                x
+            }
+            (None, None) => break,
+        };
+        if independent(next, of) {
+            out.push(next);
+        }
+    }
+    out
 }
 
 /// Depth-bounded exhaustive DFS over the scenario's schedule tree.
@@ -255,11 +340,8 @@ pub fn explore<S: Scenario>(scenario: &S, config: &ExplorerConfig) -> ExploreRep
                 }
                 break;
             }
-            let candidates: Vec<EventKey> = if config.prune {
-                enabled.iter().copied().filter(|k| !sleep.contains(k)).collect()
-            } else {
-                enabled
-            };
+            let candidates: Vec<EventKey> =
+                if config.prune { awake_candidates(&enabled, &sleep) } else { enabled };
             let Some(&first) = candidates.first() else {
                 // Every enabled event sleeps: this subtree is a reordering
                 // of one already explored.
@@ -274,12 +356,7 @@ pub fn explore<S: Scenario>(scenario: &S, config: &ExplorerConfig) -> ExploreRep
                 for i in (1..candidates.len()).rev() {
                     let ci = candidates[i];
                     let alt_sleep: Vec<EventKey> = if config.prune {
-                        sleep
-                            .iter()
-                            .chain(candidates[..i].iter())
-                            .copied()
-                            .filter(|&z| independent(z, ci))
-                            .collect()
+                        sibling_sleep(&sleep, &candidates[..i], ci)
                     } else {
                         Vec::new()
                     };
@@ -522,6 +599,19 @@ mod tests {
         fn finish(&mut self, _bounded: bool) -> Option<String> {
             (!self.pending.is_empty()).then(|| "pending left".into())
         }
+        fn state_digest(&self) -> Option<u64> {
+            // Sound for the toy: future `step`/`finish` behavior depends
+            // only on the pending multiset and on whether each watched
+            // message was delivered — never on delivery order (the order
+            // check fires, and ends the schedule, at delivery time).
+            let mut pending = self.pending.clone();
+            pending.sort_unstable();
+            let mut h = sbft_storage::Fnv64::new();
+            h.bytes(format!("{pending:?}").as_bytes()).sep();
+            h.u64(u64::from(self.delivered.contains(&chan(0, 1))));
+            h.u64(u64::from(self.delivered.contains(&chan(0, 2))));
+            Some(h.finish())
+        }
     }
 
     fn cfg(prune: bool) -> ExplorerConfig {
@@ -582,6 +672,96 @@ mod tests {
         assert_eq!(parsed.schedule, v.schedule);
         assert!(parse_trace("event warp 1 2\n").is_err());
         assert!(parse_trace("").is_err(), "missing scenario line");
+    }
+
+    #[test]
+    fn awake_candidates_is_sorted_set_difference() {
+        let enabled = vec![chan(0, 1), chan(0, 2), chan(1, 3), chan(2, 3)];
+        let sleep = vec![chan(0, 2), chan(2, 3)];
+        assert_eq!(awake_candidates(&enabled, &sleep), vec![chan(0, 1), chan(1, 3)]);
+        assert_eq!(awake_candidates(&enabled, &[]), enabled);
+        assert_eq!(awake_candidates(&[], &sleep), Vec::<EventKey>::new());
+        // Sleepers not currently enabled are simply skipped over.
+        let sleep = vec![chan(0, 0), chan(9, 9)];
+        assert_eq!(awake_candidates(&enabled, &sleep), enabled);
+    }
+
+    #[test]
+    fn sibling_sleep_merges_sorted_and_filters_dependents() {
+        let sleep = vec![chan(0, 1), chan(1, 3)];
+        let explored = vec![chan(0, 2), chan(0, 4)];
+        // Sibling's first move targets process 4: chan(0,4) is dependent
+        // (same destination) and must not survive into its sleep set.
+        let got = sibling_sleep(&sleep, &explored, chan(1, 4));
+        assert_eq!(got, vec![chan(0, 1), chan(0, 2), chan(1, 3)]);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(got, sorted, "merge output must stay sorted");
+        // Matches the original chain-and-filter construction.
+        let reference: Vec<EventKey> = sleep
+            .iter()
+            .chain(explored.iter())
+            .copied()
+            .filter(|&z| independent(z, chan(1, 4)))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        assert_eq!(got, reference);
+    }
+
+    /// Sort a violation list the way [`explore_parallel`] does, for
+    /// comparing against sequential discovery order.
+    fn sorted(mut v: Vec<Violation>) -> Vec<Violation> {
+        v.sort_by(|a, b| {
+            a.schedule.cmp(&b.schedule).then_with(|| a.description.cmp(&b.description))
+        });
+        v
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_every_worker_count() {
+        for prune in [false, true] {
+            let seq = explore(&Toy, &cfg(prune));
+            for jobs in [1, 2, 4] {
+                for split_depth in [0, 2, 16] {
+                    let par = ParallelConfig { jobs, split_depth, dedup: false };
+                    let rep = explore_parallel(&Toy, &cfg(prune), &par);
+                    assert_eq!(
+                        rep.stats, seq.stats,
+                        "jobs={jobs} split={split_depth} prune={prune}"
+                    );
+                    assert_eq!(rep.violations, sorted(seq.violations.clone()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_skips_subtrees_but_keeps_every_violation_description() {
+        use std::collections::BTreeSet;
+        let base = explore(&Toy, &cfg(true));
+        let par = ParallelConfig { jobs: 2, split_depth: 2, dedup: true };
+        let rep = explore_parallel(&Toy, &cfg(true), &par);
+        assert!(rep.stats.dedup_checks > 0, "toy digests are Some, so nodes must be checked");
+        // Every branch a deduped sweep explores, the full sweep explores
+        // too (dedup only returns early), so counts can only shrink.
+        assert!(rep.stats.schedules <= base.stats.schedules);
+        assert!(rep.stats.transitions <= base.stats.transitions);
+        let full: BTreeSet<&str> = base.violations.iter().map(|v| v.description.as_str()).collect();
+        let deduped: BTreeSet<&str> =
+            rep.violations.iter().map(|v| v.description.as_str()).collect();
+        assert_eq!(full, deduped, "dedup must preserve the violation-description set");
+    }
+
+    #[test]
+    fn parallel_shrink_matches_sequential_shrink() {
+        let report = explore(&Toy, &cfg(true));
+        let v = report.violations.first().expect("toy violates");
+        let seq = shrink(&Toy, v);
+        for jobs in [1, 2, 4] {
+            let par = shrink_parallel(&Toy, v, jobs);
+            assert_eq!(par, seq, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! consumes no randomness, so the schedule alone (not the RNG stream)
 //! determines the execution — exactly what key-sequence replay requires.
 
+use sbft_core::adversary::ByzStrategy;
 use sbft_core::cluster::{RegisterCluster, SimSubstrate};
 use sbft_core::reader::ReaderOptions;
 use sbft_labels::{BoundedLabeling, LabelingSystem};
@@ -41,6 +42,14 @@ enum Kind {
     /// with the victim read left to the explorer — at n=5 some delivery
     /// order returns the planted garbage; at n=6 none may.
     Theorem1 { n: usize },
+    /// Honest n=6/f=1 cluster, *two* writers racing each other and one
+    /// reader — the MWMR label-merge path under exploration.
+    MwmrTwoWriters,
+    /// Durable n=6/f=1 cluster: a server crashes and reboots from a
+    /// suffix-damaged disk ([`DiskFault::LostSuffix`]) while a write and a
+    /// read are in flight; the explorer searches the delivery orders
+    /// around the rejoining stale server.
+    CrashRecover,
 }
 
 /// A named, seeded register scenario.
@@ -65,6 +74,18 @@ impl RegisterScenario {
         Self { kind: Kind::Theorem1 { n }, name: format!("theorem1-n{n}"), seed: 7 }
     }
 
+    /// Honest n=6/f=1 cluster with three clients: two writers racing and
+    /// one concurrent reader, from a settled state.
+    pub fn mwmr_two_writers() -> Self {
+        Self { kind: Kind::MwmrTwoWriters, name: "mwmr2-n6".into(), seed: 7 }
+    }
+
+    /// Durable n=6/f=1 cluster with a crash-recovery from a damaged disk
+    /// fired mid-operation, then handed to the explorer.
+    pub fn crash_recover() -> Self {
+        Self { kind: Kind::CrashRecover, name: "crash-recover-n6".into(), seed: 7 }
+    }
+
     /// Look a scenario up by its stable name (the `scenario` line of a
     /// trace file / the harness `--scenario` flag).
     pub fn by_name(name: &str) -> Option<Self> {
@@ -72,13 +93,21 @@ impl RegisterScenario {
             "concurrent-wr-n6" => Some(Self::concurrent_write_read()),
             "theorem1-n5" => Some(Self::theorem1(5)),
             "theorem1-n6" => Some(Self::theorem1(6)),
+            "mwmr2-n6" => Some(Self::mwmr_two_writers()),
+            "crash-recover-n6" => Some(Self::crash_recover()),
             _ => None,
         }
     }
 
     /// Every scenario the E16 experiment sweeps.
     pub fn all() -> Vec<Self> {
-        vec![Self::concurrent_write_read(), Self::theorem1(6), Self::theorem1(5)]
+        vec![
+            Self::concurrent_write_read(),
+            Self::mwmr_two_writers(),
+            Self::crash_recover(),
+            Self::theorem1(6),
+            Self::theorem1(5),
+        ]
     }
 }
 
@@ -93,6 +122,8 @@ impl Scenario for RegisterScenario {
         match self.kind {
             Kind::ConcurrentWriteRead => concurrent_write_read(self.seed),
             Kind::Theorem1 { n } => theorem1(n, self.seed),
+            Kind::MwmrTwoWriters => mwmr_two_writers(self.seed),
+            Kind::CrashRecover => crash_recover(self.seed),
         }
     }
 }
@@ -136,6 +167,18 @@ impl ScenarioRun for RegisterRun {
         let open = self.cluster.recorder.open_ops();
         (open > 0)
             .then(|| format!("termination: {open} operation(s) still open at network quiescence"))
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        // Everything the future depends on: the simulator world (automata
+        // states, in-flight messages in FIFO order, live timers, crash
+        // flags — `None` for anything with hidden randomness) plus the
+        // recorder's view of the history, abstracted to what the
+        // whole-window regularity checker can distinguish.
+        let sim = self.cluster.sim.state_digest()?;
+        let mut h = sbft_storage::Fnv64::new();
+        h.u64(sim).sep().u64(self.cluster.recorder.explore_digest());
+        Some(h.finish())
     }
 }
 
@@ -203,10 +246,70 @@ fn theorem1(n: usize, seed: u64) -> RegisterRun {
     RegisterRun { cluster: c }
 }
 
+/// MWMR setup: settle `write(1)` from the first writer, then leave
+/// `write(7) ∥ write(8) ∥ read` — two distinct writers and a reader — in
+/// flight. Exploration covers every interleaving of the two write
+/// quorums, exercising the label-merge (dominating-timestamp) path that
+/// single-writer scenarios never reach.
+fn mwmr_two_writers(seed: u64) -> RegisterRun {
+    let mut c = RegisterCluster::bounded_with_n(6, 1)
+        .clients(3)
+        .seed(seed)
+        .delay(DelayModel::unit())
+        .build();
+    let w1 = c.client(0);
+    let w2 = c.client(1);
+    let r = c.client(2);
+    c.write(w1, 1).expect("setup write terminates");
+    c.settle(100_000);
+    c.invoke_write(w1, 7);
+    c.invoke_write(w2, 8);
+    c.invoke_read(r);
+    RegisterRun { cluster: c }
+}
+
+/// Crash-recovery setup: a durable cluster settles two writes, invokes
+/// `write(7) ∥ read`, and *then* server 0 crashes and reboots from its
+/// own disk with the log suffix torn off ([`DiskFault::LostSuffix`]) —
+/// rejoining with stale state while both operations' messages are still
+/// in flight. The explorer searches the delivery orders around the
+/// recovering server; regularity must hold in every one (recovery is a
+/// cure, not a fault, per the paper's crash-recovery extension).
+fn crash_recover(seed: u64) -> RegisterRun {
+    use sbft_net::nemesis::{NemesisEvent, NemesisSchedule};
+    use sbft_storage::DiskFault;
+
+    let mut c = RegisterCluster::bounded_with_n(6, 1)
+        .clients(2)
+        .durable()
+        .seed(seed)
+        .delay(DelayModel::unit())
+        .build();
+    let w = c.client(0);
+    let r = c.client(1);
+    c.write(w, 1).expect("setup write terminates");
+    c.write(w, 2).expect("setup write terminates");
+    c.settle(100_000);
+
+    c.invoke_write(w, 7);
+    c.invoke_read(r);
+    let sched = NemesisSchedule::scripted(vec![
+        (0, NemesisEvent::Crash(0)),
+        (0, NemesisEvent::CrashRecover { pid: 0, fault: DiskFault::LostSuffix }),
+    ]);
+    let mut runner = c.nemesis_runner(sched, Vec::new(), ByzStrategy::Silent);
+    assert!(runner.fire_next(&mut c.sim), "crash fires");
+    assert!(runner.fire_next(&mut c.sim), "recovery fires");
+    RegisterRun { cluster: c }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{explore, replay, shrink, ExplorerConfig, ReplayOutcome};
+    use crate::{
+        explore, explore_parallel, replay, shrink, shrink_parallel, ExplorerConfig, ParallelConfig,
+        ReplayOutcome,
+    };
 
     #[test]
     fn scenario_lookup_by_name() {
@@ -293,6 +396,30 @@ mod tests {
         }
     }
 
+    /// Focused throughput measurement for the sleep-set hot path (run with
+    /// `cargo test --release -p sbft-explorer -- --ignored --nocapture`).
+    /// Deep fork bound ⇒ large sleep sets ⇒ the candidate filter and
+    /// sibling-sleep construction dominate; prints transitions/sec.
+    #[test]
+    #[ignore = "timing measurement, not a correctness check"]
+    fn sleep_hot_path_throughput() {
+        let s = RegisterScenario::concurrent_write_read();
+        let config =
+            ExplorerConfig { branch_depth: 9, max_schedules: 1_000_000, ..Default::default() };
+        let t0 = std::time::Instant::now();
+        let report = explore(&s, &config);
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "prune-on depth-9: {} schedules, {} pruned, {} transitions in {:.2}s = {:.0} transitions/sec",
+            report.stats.schedules,
+            report.stats.pruned,
+            report.stats.transitions,
+            dt,
+            report.stats.transitions as f64 / dt,
+        );
+        assert!(report.violations.is_empty(), "concurrent-wr-n6 is clean");
+    }
+
     #[test]
     fn theorem1_n6_default_schedule_is_clean() {
         let s = RegisterScenario::theorem1(6);
@@ -306,5 +433,124 @@ mod tests {
             assert!(steps < 10_000, "runaway schedule");
         }
         assert_eq!(run.finish(false), None);
+    }
+
+    /// The new scenarios complete their default schedules cleanly and —
+    /// being honest, unit-delay, single-attempt setups — expose a state
+    /// digest at every node, so dedup actually engages on them.
+    #[test]
+    fn mwmr_and_crash_recover_default_schedules_are_clean_and_digestible() {
+        for s in [RegisterScenario::mwmr_two_writers(), RegisterScenario::crash_recover()] {
+            let mut run = s.start();
+            assert!(!run.enabled().is_empty(), "{}: setup leaves ops in flight", s.name());
+            assert!(run.state_digest().is_some(), "{}: initial state must digest", s.name());
+            let mut steps = 0;
+            while let Some(&key) = run.enabled().first() {
+                match run.step(key) {
+                    StepResult::Ok => steps += 1,
+                    other => panic!("{}: default schedule must be clean, got {other:?}", s.name()),
+                }
+                assert!(run.state_digest().is_some(), "{}: digest at step {steps}", s.name());
+                assert!(steps < 10_000, "runaway schedule");
+            }
+            assert_eq!(run.finish(false), None, "{}: all ops must complete", s.name());
+        }
+    }
+
+    /// The crash-recovery setup must actually perturb state: server 0's
+    /// first syncs happen every [`sbft_core::server::SYNC_EVERY`] applied
+    /// writes, so both settled writes sit in the unflushed tail that
+    /// [`sbft_storage::DiskFault::LostSuffix`] eats — the server rejoins
+    /// behind its peers, not as a clone of them.
+    #[test]
+    fn crash_recover_server_rejoins_stale() {
+        let s = RegisterScenario::crash_recover();
+        let mut run = s.start();
+        let (v0, applied0) = {
+            let srv = run.cluster.server_state(0).expect("recovered server is honest");
+            (srv.value, srv.writes_applied)
+        };
+        let srv1 = run.cluster.server_state(1).expect("honest peer");
+        assert!(
+            applied0 < srv1.writes_applied,
+            "server 0 must rejoin stale: {applied0} vs {} applied writes",
+            srv1.writes_applied
+        );
+        assert_ne!(v0, srv1.value, "stale server must hold an older value");
+    }
+
+    /// Tentpole determinism: with dedup off, the parallel explorer returns
+    /// bit-identical stats and violations for jobs 1, 2, and 4 — and they
+    /// match the sequential sweep (violations modulo the parallel sort) —
+    /// on both a clean scenario and the violating one.
+    #[test]
+    fn parallel_exploration_is_deterministic_across_worker_counts() {
+        let clean = RegisterScenario::concurrent_write_read();
+        let config = ExplorerConfig { branch_depth: 3, max_schedules: 300, ..Default::default() };
+        let seq = explore(&clean, &config);
+        for jobs in [1, 2, 4] {
+            let par = ParallelConfig { jobs, split_depth: 2, dedup: false };
+            let a = explore_parallel(&clean, &config, &par);
+            let b = explore_parallel(&clean, &config, &par);
+            assert_eq!(a.stats, seq.stats, "jobs={jobs} vs sequential");
+            assert_eq!(a.stats, b.stats, "jobs={jobs} repeated run");
+            assert_eq!(a.violations, b.violations, "jobs={jobs} repeated run");
+            assert!(a.violations.is_empty());
+        }
+    }
+
+    /// Tentpole end-to-end: the n=5 Theorem 1 counterexample is
+    /// rediscovered by the parallel explorer (with and without dedup),
+    /// shrinks in parallel to the sequential minimum, and replays.
+    #[test]
+    fn theorem1_n5_counterexample_survives_parallel_and_dedup() {
+        let s = RegisterScenario::theorem1(5);
+        let config =
+            ExplorerConfig { branch_depth: 12, stop_on_violation: true, ..Default::default() };
+        for dedup in [false, true] {
+            let par = ParallelConfig { jobs: 2, split_depth: 2, dedup };
+            let report = explore_parallel(&s, &config, &par);
+            let v = report.violations.first().expect("counterexample rediscovered");
+            assert!(v.description.contains("UnknownValue"), "{}", v.description);
+            let min = shrink_parallel(&s, v, 2);
+            assert!(min.schedule.len() <= v.schedule.len());
+            match replay(&s, &min.schedule) {
+                ReplayOutcome::Violation { at, description } => {
+                    assert_eq!(at, min.schedule.len() - 1);
+                    assert_eq!(description, min.description);
+                }
+                other => panic!("shrunk schedule must still violate, got {other:?}"),
+            }
+        }
+    }
+
+    /// Dedup soundness on the real counterexample scenario: every
+    /// violation description an un-deduped sweep finds, a deduped sweep of
+    /// the same bounds also finds. (Schedules may differ — dedup reroutes
+    /// coverage through equal-state representatives — but no failure mode
+    /// may vanish.)
+    #[test]
+    fn dedup_preserves_violation_descriptions_on_theorem1_n5() {
+        use std::collections::BTreeSet;
+        let s = RegisterScenario::theorem1(5);
+        let config = ExplorerConfig {
+            branch_depth: 10,
+            max_schedules: 2_000,
+            stop_on_violation: false,
+            ..Default::default()
+        };
+        let base = ParallelConfig { jobs: 2, split_depth: 2, dedup: false };
+        let full = explore_parallel(&s, &config, &base);
+        let deduped =
+            explore_parallel(&s, &config, &ParallelConfig { dedup: true, ..base.clone() });
+        // The coverage argument needs complete sweeps: a capped sweep
+        // explores a traversal-order-dependent subset.
+        assert!(!full.stats.hit_schedule_cap, "bounds must fit the cap: {:?}", full.stats);
+        assert!(deduped.stats.dedup_checks > 0, "digests must be available");
+        let full_set: BTreeSet<&str> =
+            full.violations.iter().map(|v| v.description.as_str()).collect();
+        let deduped_set: BTreeSet<&str> =
+            deduped.violations.iter().map(|v| v.description.as_str()).collect();
+        assert_eq!(full_set, deduped_set, "dedup must not lose any violation description");
     }
 }

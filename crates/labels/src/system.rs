@@ -29,7 +29,7 @@ use sbft_storage::Codec;
 /// non-transitive (a transitive antisymmetric relation over a finite set with
 /// the k-dominance property cannot exist, by following a dominating chain
 /// around the finite domain).
-pub trait LabelingSystem: Clone + Send + Sync + 'static {
+pub trait LabelingSystem: Clone + Debug + Send + Sync + 'static {
     /// The label type produced and compared by this system. The [`Codec`]
     /// bound lets server state containing labels persist to stable storage
     /// (see `sbft-storage`); decoding tolerates ill-formed labels, which

@@ -542,6 +542,30 @@ where
         }
     }
 
+    /// Guard for the schedule-exploration API ([`Simulation::enabled_events`]
+    /// / [`Simulation::step_key`]): link batching holds messages in the
+    /// [`LinkBatcher`] outside the event queue, where the explorer cannot
+    /// see them — a "quiescent" verdict with a non-empty batcher would be a
+    /// bogus termination claim, and `Flush` events are not key-addressable
+    /// anyway. Exploration therefore requires batching off; panic loudly
+    /// instead of silently exploring the wrong tree.
+    fn assert_explorable(&self) {
+        assert!(
+            !self.batch.enabled(),
+            "schedule exploration (enabled_events/step_key) requires batching off: \
+             BatchPolicy {{ max_batch: {}, flush_ticks: {} }} holds messages in the \
+             LinkBatcher where the explorer cannot see them, so quiescence verdicts \
+             would be bogus. Build the explored cluster with BatchPolicy::disabled().",
+            self.batch.max_batch,
+            self.batch.flush_ticks,
+        );
+        debug_assert!(
+            self.batcher.is_empty(),
+            "batching disabled but the LinkBatcher holds {} pending messages",
+            self.batcher.pending_len(),
+        );
+    }
+
     /// Enumerate the distinct [`EventKey`]s that are currently *enabled*:
     /// every directed channel with at least one in-flight delivery to a
     /// live process, and every pending timer armed by the current
@@ -551,6 +575,7 @@ where
     /// fork on them nor wait for them. The result is sorted and deduplicated
     /// so identical simulator states always report identical key lists.
     pub fn enabled_events(&self) -> Vec<EventKey> {
+        self.assert_explorable();
         if self.halted {
             return Vec::new();
         }
@@ -568,7 +593,8 @@ where
                     }
                 }
                 // Flush events are substrate bookkeeping, not explorable
-                // protocol events (the explorer runs with batching off).
+                // protocol events (batching off is enforced by
+                // `assert_explorable`, so none can be pending here).
                 EventKind::Flush => {}
             }
         }
@@ -590,6 +616,7 @@ where
     /// the protocol assumes. Returns `None` when no live queue entry
     /// matches `key` (i.e. `key` is not in [`Simulation::enabled_events`]).
     pub fn step_key(&mut self, key: EventKey) -> Option<SimEvent<O>> {
+        self.assert_explorable();
         if self.halted {
             return None;
         }
@@ -637,6 +664,82 @@ where
             // selected above.
             EventKind::Flush => unreachable!("flush events are not key-addressable"),
         }
+    }
+
+    /// Stable fingerprint of the complete explorable simulator state, or
+    /// `None` when some state component cannot be soundly fingerprinted —
+    /// the explorer's dedup layer treats `None` as "never dedup here".
+    ///
+    /// Covered: every automaton's [`Automaton::state_digest`] (in pid
+    /// order), crash flags, incarnations, and the pending event queue in
+    /// *canonical* form — deliveries grouped per directed channel in FIFO
+    /// order and timers as `(pid, id)` multisets, with scheduled times and
+    /// sequence numbers excluded. Times are excluded deliberately: the
+    /// explorer realizes interleavings by key, not by time, automata never
+    /// read the clock, and two interleavings of independent events converge
+    /// to states that differ *only* in times — precisely the states dedup
+    /// exists to merge.
+    ///
+    /// Returns `None` when hidden state could make equal digests behave
+    /// differently: a non-constant delay model or any faulted channel (the
+    /// RNG cursor becomes state), paused or held channels (messages outside
+    /// the queue), enabled batching, or any automaton that cannot digest
+    /// itself.
+    pub fn state_digest(&self) -> Option<u64> {
+        let delay = self.channels.delay_model();
+        if self.halted
+            || delay.min != delay.max
+            || self.batch.enabled()
+            || !self.batcher.is_empty()
+            || self.channels.any_paused_or_held()
+            || self.channels.any_faulted()
+        {
+            return None;
+        }
+        let mut h = sbft_storage::Fnv64::new();
+        for (pid, proc_) in self.procs.iter().enumerate() {
+            h.usize(pid).u64(proc_.state_digest()?).sep();
+        }
+        for (pid, &c) in self.crashed.iter().enumerate() {
+            if c {
+                h.usize(pid);
+            }
+        }
+        h.sep();
+        for &i in &self.incarnation {
+            h.u64(i);
+        }
+        h.sep();
+        let mut delivers: Vec<(ProcessId, ProcessId, u64, u64, &Frame<M>)> = Vec::new();
+        let mut timers: Vec<(ProcessId, u64)> = Vec::new();
+        for q in self.queue.iter() {
+            match &q.kind {
+                EventKind::Deliver { from, to, frame } => {
+                    if !self.crashed[*to] {
+                        delivers.push((*from, *to, q.time, q.seq, frame));
+                    }
+                }
+                EventKind::Timer { pid, id, incarnation } => {
+                    if !self.crashed[*pid] && *incarnation == self.incarnation[*pid] {
+                        timers.push((*pid, *id));
+                    }
+                }
+                EventKind::Flush => return None,
+            }
+        }
+        // Sorting by (from, to, time, seq) lists each channel's in-flight
+        // messages contiguously in FIFO order; the hash then absorbs only
+        // the order-invariant part (channel identity + payload).
+        delivers.sort_unstable_by_key(|&(from, to, time, seq, _)| (from, to, time, seq));
+        for (from, to, _, _, frame) in delivers {
+            h.usize(from).usize(to).bytes(format!("{frame:?}").as_bytes()).sep();
+        }
+        h.sep();
+        timers.sort_unstable();
+        for (pid, id) in timers {
+            h.usize(pid).u64(id);
+        }
+        Some(h.finish())
     }
 
     /// Run until the queue drains or `max_events` were processed; returns
@@ -880,6 +983,35 @@ mod tests {
         // Stepping a key that is not enabled is a no-op returning None.
         assert!(sim.step_key(EventKey::Channel { from: ENV, to: 0 }).is_none());
         assert_eq!(sim.enabled_events(), vec![EventKey::Channel { from: 0, to: 1 }]);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "schedule exploration (enabled_events/step_key) requires batching off"
+    )]
+    fn enabled_events_panics_when_batching_is_on() {
+        // Batching holds messages in the LinkBatcher outside the event
+        // queue, so an explorer would report quiescence with messages still
+        // pending. The exploration API must refuse, not mislead.
+        let mut sim: Simulation<u32, u32> =
+            Simulation::new(SimConfig::seeded(3).with_batching(BatchPolicy::new(4, 2)));
+        sim.add_process(Box::new(PingPong));
+        sim.add_process(Box::new(PingPong));
+        sim.inject(0, 3);
+        let _ = sim.enabled_events();
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "schedule exploration (enabled_events/step_key) requires batching off"
+    )]
+    fn step_key_panics_when_batching_is_on() {
+        let mut sim: Simulation<u32, u32> =
+            Simulation::new(SimConfig::seeded(3).with_batching(BatchPolicy::new(4, 2)));
+        sim.add_process(Box::new(PingPong));
+        sim.add_process(Box::new(PingPong));
+        sim.inject(0, 3);
+        let _ = sim.step_key(EventKey::Channel { from: ENV, to: 0 });
     }
 
     #[test]

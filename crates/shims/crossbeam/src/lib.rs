@@ -206,6 +206,79 @@ pub mod channel {
     }
 }
 
+/// Work-stealing queue subset: a shared [`deque::Injector`] with the
+/// `crossbeam-deque` `push`/`steal` API shape. The parallel schedule
+/// explorer keeps per-worker LIFO stacks locally (plain `Vec`s — no
+/// cross-thread access) and uses the injector only for branches exported
+/// for stealing, so a single mutex-guarded FIFO suffices here; the real
+/// crate's lock-free `Worker`/`Stealer` pair is not needed.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Outcome of a steal attempt, mirroring `crossbeam_deque::Steal`.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was empty at the time of the attempt.
+        Empty,
+        /// A task was successfully stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// An unordered-consumer FIFO task injector shared by all workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Create an empty injector.
+        pub fn new() -> Self {
+            Injector { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Push a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Attempt to steal the task at the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
@@ -270,5 +343,31 @@ mod tests {
         assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
         tx.send(5).unwrap();
         assert_eq!(rx.try_recv(), Ok(5));
+    }
+
+    #[test]
+    fn injector_steals_fifo_across_threads() {
+        use super::deque::{Injector, Steal};
+        let inj = Injector::new();
+        for i in 0..100u32 {
+            inj.push(i);
+        }
+        let stolen = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| loop {
+                    match inj.steal() {
+                        Steal::Success(v) => stolen.lock().unwrap().push(v),
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                });
+            }
+        });
+        let mut got = stolen.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(inj.is_empty());
+        assert_eq!(inj.len(), 0);
     }
 }

@@ -251,19 +251,11 @@ impl Stable for SimDisk {
     fn digest(&self) -> u64 {
         // FNV-1a with region separators so (snapshot, log) splits don't
         // collide.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
-            h ^= 0xff;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        };
-        eat(&self.snapshot);
-        eat(&self.log);
-        eat(&self.unflushed);
-        h
+        let mut h = crate::fnv::Fnv64::new();
+        h.bytes(&self.snapshot).sep();
+        h.bytes(&self.log).sep();
+        h.bytes(&self.unflushed).sep();
+        h.finish()
     }
 
     fn stats(&self) -> DiskStats {

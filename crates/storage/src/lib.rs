@@ -31,8 +31,10 @@
 
 pub mod codec;
 pub mod disk;
+pub mod fnv;
 pub mod frame;
 
 pub use codec::{ByteReader, Codec};
 pub use disk::{DiskFault, DiskHandle, DiskSet, DiskStats, Recovered, SimDisk, Stable};
+pub use fnv::Fnv64;
 pub use frame::{decode_frames, write_frame, FrameDamage};
